@@ -1,0 +1,163 @@
+(* Benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation section
+   (Table 1, Table 2, Figure 2, the Section-6.3 guard-band analysis),
+   plus the E5/E6 ablations from DESIGN.md, and runs Bechamel
+   micro-benchmarks of the computational kernels.
+
+   Usage:
+     dune exec bench/main.exe                     # everything, quick profile
+     dune exec bench/main.exe -- table1           # one experiment
+     dune exec bench/main.exe -- table2 --full    # paper-scale sizes
+     dune exec bench/main.exe -- micro            # kernel timings only *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|figure2|guardband|ablation|robustness|baselines|micro|all] [--full]";
+  exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernels behind each experiment *)
+
+let micro_fixture =
+  lazy
+    (let nl =
+       Circuit.Generator.generate
+         { Circuit.Generator.default with num_gates = 300; seed = 4 }
+     in
+     let model = Timing.Variation.make_model ~levels:3 () in
+     let setup = Core.Pipeline.prepare ~yield_samples:120 ~netlist:nl ~model () in
+     let a = Timing.Paths.a_mat setup.Core.Pipeline.pool in
+     let mu = Timing.Paths.mu_paths setup.Core.Pipeline.pool in
+     let svd = Linalg.Svd.factor a in
+     (setup, a, mu, svd))
+
+let micro_tests () =
+  let open Bechamel in
+  let setup, a, mu, svd = Lazy.force micro_fixture in
+  let group_select_input =
+    lazy
+      (let exact = Core.Pipeline.exact_selection setup in
+       let g_r1 =
+         Linalg.Mat.select_rows
+           (Timing.Paths.g_mat setup.Core.Pipeline.pool)
+           exact.Core.Select.indices
+       in
+       let bounds =
+         Array.make (Array.length exact.Core.Select.indices)
+           (0.05 *. setup.Core.Pipeline.t_cons)
+       in
+       (g_r1, bounds))
+  in
+  [
+    Test.make ~name:"table1:svd-of-A"
+      (Staged.stage (fun () -> ignore (Linalg.Svd.factor a)));
+    Test.make ~name:"table1:algo2-pivoted-qr-subset"
+      (Staged.stage (fun () -> ignore (Core.Subset_select.rows_from_svd svd ~r:20)));
+    Test.make ~name:"table1:thm2-predictor-build"
+      (Staged.stage (fun () ->
+           let rep = Core.Subset_select.rows_from_svd svd ~r:20 in
+           ignore (Core.Predictor.build ~a ~mu ~rep)));
+    Test.make ~name:"table1:algo1-bisection"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Select.approximate ~a ~mu ~eps:0.05
+                ~t_cons:setup.Core.Pipeline.t_cons ())));
+    Test.make ~name:"table2:eqn10-group-select"
+      (Staged.stage (fun () ->
+           let g_r1, bounds = Lazy.force group_select_input in
+           ignore
+             (Convexopt.Group_select.select
+                ~sigma:(Timing.Paths.sigma_mat setup.Core.Pipeline.pool)
+                ~g1:g_r1 ~bounds ~kappa:3.0 ())));
+    Test.make ~name:"figure2:effective-rank"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Effective_rank.of_singular_values ~eta:0.05 svd.Linalg.Svd.s)));
+    Test.make ~name:"mc:500-virtual-dies"
+      (Staged.stage (fun () ->
+           let mc =
+             Timing.Monte_carlo.sample (Rng.create 5) setup.Core.Pipeline.pool ~n:500
+           in
+           ignore (Timing.Monte_carlo.path_delays mc)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline (String.make 64 '-');
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) () in
+  let analyze = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all analyze instance raw in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-46s %12.3f ms/run\n%!" name (est /. 1e6)
+          | Some _ | None -> Printf.printf "%-46s (no estimate)\n%!" name)
+        results)
+    (micro_tests ())
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let profile = if full then Experiments.Profile.full else Experiments.Profile.quick in
+  let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
+  Printf.printf "profile: %s\n" profile.Experiments.Profile.name;
+  let t0 = Unix.gettimeofday () in
+  let run_table1 () =
+    banner "E1 / Table 1 -- approximate path selection";
+    ignore (Experiments.Table1.run profile)
+  in
+  let run_table2 () =
+    banner "E2 / Table 2 -- hybrid path/segment selection";
+    ignore (Experiments.Table2.run profile)
+  in
+  let run_figure2 () =
+    banner "E3 / Figure 2 -- singular value decay";
+    ignore (Experiments.Figure2.run profile)
+  in
+  let run_guardband () =
+    banner "E4 / Section 6.3 -- guard-band analysis";
+    ignore (Experiments.Guardband_exp.run profile)
+  in
+  let run_ablation () =
+    banner "E5+E6+E7 -- ablations";
+    Experiments.Ablation.run profile
+  in
+  let run_robustness () =
+    banner "E8+E9+E11 -- production robustness";
+    Experiments.Robustness.run profile
+  in
+  let run_baselines () =
+    banner "E12 -- baselines from the related work";
+    ignore (Experiments.Baselines_exp.run profile)
+  in
+  (match what with
+   | "table1" -> run_table1 ()
+   | "table2" -> run_table2 ()
+   | "figure2" -> run_figure2 ()
+   | "guardband" -> run_guardband ()
+   | "ablation" -> run_ablation ()
+   | "robustness" -> run_robustness ()
+   | "baselines" -> run_baselines ()
+   | "micro" -> run_micro ()
+   | "all" ->
+     run_table1 ();
+     run_table2 ();
+     run_figure2 ();
+     run_guardband ();
+     run_ablation ();
+     run_robustness ();
+     run_baselines ();
+     banner "micro-benchmarks";
+     run_micro ()
+   | _ -> usage ());
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,328 @@
+(* pathsel: command-line front end for representative path selection.
+
+   Subcommands:
+     generate   emit a synthetic ISCAS-like netlist in .bench format
+     select     run Algorithm 1 on a .bench netlist (or a named preset)
+     hybrid     run Algorithm 3 (path + segment selection)
+     spectrum   print the normalized singular values of A
+     table1 / table2 / figure2 / guardband / ablation
+                regenerate the paper's experiments *)
+
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let eps_arg default =
+  Arg.(value & opt float default
+       & info [ "eps" ] ~docv:"EPS" ~doc:"Worst-case error tolerance (fraction).")
+
+let levels_arg =
+  Arg.(value & opt int 3
+       & info [ "levels" ]
+           ~doc:"Spatial-correlation quadtree levels (3 = 21 regions, 5 = 341).")
+
+let scale_arg =
+  Arg.(value & opt float 1.0
+       & info [ "scale" ] ~doc:"Size scale for named benchmark presets, in (0,1].")
+
+let tscale_arg =
+  Arg.(value & opt float 1.0
+       & info [ "t-scale" ]
+           ~doc:"Timing-constraint scale: T_cons = t-scale x nominal critical delay.")
+
+let max_paths_arg =
+  Arg.(value & opt int 5000 & info [ "max-paths" ] ~doc:"Cap on extracted target paths.")
+
+let random_boost_arg =
+  Arg.(value & opt float 1.0
+       & info [ "random-boost" ] ~doc:"Multiplier on per-gate random sensitivities.")
+
+let liberty_arg =
+  Arg.(value & opt (some string) None
+       & info [ "liberty" ]
+           ~docv:"LIB"
+           ~doc:"Liberty .lib file for NLDM delay calculation; \"builtin\" uses                  the embedded 90nm library. Omitted: the linear fanout model.")
+
+let report_arg =
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write the measurement plan as JSON to FILE.")
+
+let circuit_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"CIRCUIT"
+           ~doc:"A .bench file path, or a preset name (s1196..s38417). Omitted: a \
+                 default synthetic circuit.")
+
+let load_circuit ~scale ~seed = function
+  | None ->
+    Circuit.Generator.generate { Circuit.Generator.default with seed }
+  | Some spec ->
+    (match Circuit.Benchmarks.find spec with
+     | Some preset -> Circuit.Benchmarks.netlist ~scale preset
+     | None ->
+       if Sys.file_exists spec then begin
+         if Filename.check_suffix spec ".v" then Circuit.Verilog_io.parse_file spec
+         else Circuit.Bench_io.parse_file spec
+       end
+       else failwith (Printf.sprintf "unknown circuit %S (not a preset, not a file)" spec))
+
+let load_liberty = function
+  | None -> None
+  | Some "builtin" ->
+    Some (Circuit.Liberty.Library.of_group (Circuit.Liberty.parse Circuit.Liberty.builtin))
+  | Some path ->
+    Some (Circuit.Liberty.Library.of_group (Circuit.Liberty.parse_file path))
+
+let prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths ~liberty =
+  let netlist = load_circuit ~scale ~seed circuit in
+  let model = Timing.Variation.make_model ~levels ~random_boost () in
+  let setup =
+    match load_liberty liberty with
+    | None ->
+      Core.Pipeline.prepare ~t_cons_scale:tscale ~max_paths ~seed ~netlist ~model ()
+    | Some lib ->
+      let dm = Timing.Delay_calc.delay_model lib netlist ~model in
+      Core.Pipeline.prepare_with_model ~t_cons_scale:tscale ~max_paths ~seed ~dm ()
+  in
+  Printf.printf "circuit: %s\n" (Circuit.Netlist.stats netlist);
+  Printf.printf
+    "T_cons %.1f ps | yield %.3f | %d target paths, %d segments, %d variables%s\n"
+    setup.Core.Pipeline.t_cons setup.Core.Pipeline.circuit_yield
+    (Timing.Paths.num_paths setup.Core.Pipeline.pool)
+    (Timing.Paths.num_segments setup.Core.Pipeline.pool)
+    (Timing.Paths.num_vars setup.Core.Pipeline.pool)
+    (if setup.Core.Pipeline.truncated then " (pool truncated)" else "");
+  setup
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let gates = Arg.(value & opt int 400 & info [ "gates" ] ~doc:"Gate count.") in
+  let inputs = Arg.(value & opt int 30 & info [ "inputs" ] ~doc:"Primary inputs.") in
+  let outputs = Arg.(value & opt int 25 & info [ "outputs" ] ~doc:"Primary outputs.") in
+  let depth = Arg.(value & opt int 14 & info [ "depth" ] ~doc:"Logic depth.") in
+  let run gates inputs outputs depth seed =
+    let nl =
+      Circuit.Generator.generate
+        { Circuit.Generator.num_gates = gates; num_inputs = inputs;
+          num_outputs = outputs; depth; hub_fraction = 0.05; seed }
+    in
+    print_string (Circuit.Bench_io.print nl)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a synthetic netlist in .bench format on stdout.")
+    Term.(const run $ gates $ inputs $ outputs $ depth $ seed_arg)
+
+(* ---------------- select ---------------- *)
+
+let select_cmd =
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Exact selection (r = rank A).")
+  in
+  let run circuit scale seed levels random_boost tscale max_paths eps exact liberty
+      report =
+    let setup =
+      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths ~liberty
+    in
+    let sel =
+      if exact then Core.Pipeline.exact_selection setup
+      else Core.Pipeline.approximate_selection setup ~eps
+    in
+    (match report with
+     | None -> ()
+     | Some path ->
+       Core.Report.write_file path
+         (Core.Report.selection_report ~pool:setup.Core.Pipeline.pool
+            ~t_cons:setup.Core.Pipeline.t_cons ~eps sel);
+       Printf.printf "wrote %s\n" path);
+    Printf.printf
+      "rank(A) = %d | effective rank = %d | selected %d representative paths \
+       (eps_r = %.2f%%)\n"
+      sel.Core.Select.rank sel.Core.Select.effective_rank
+      (Array.length sel.Core.Select.indices)
+      (100.0 *. sel.Core.Select.eps_r);
+    let m = Core.Pipeline.evaluate_selection setup sel in
+    Printf.printf "Monte Carlo: e1 = %.2f%%  e2 = %.2f%%\n" (100.0 *. m.Core.Evaluate.e1)
+      (100.0 *. m.Core.Evaluate.e2);
+    Printf.printf "representative path indices: %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int sel.Core.Select.indices)))
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Representative path selection (Algorithm 1).")
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
+          $ liberty_arg $ report_arg)
+
+(* ---------------- hybrid ---------------- *)
+
+let hybrid_cmd =
+  let run circuit scale seed levels random_boost tscale max_paths eps liberty report =
+    let setup =
+      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths ~liberty
+    in
+    let h = Core.Pipeline.hybrid_selection setup ~eps in
+    (match report with
+     | None -> ()
+     | Some path ->
+       Core.Report.write_file path
+         (Core.Report.hybrid_report ~pool:setup.Core.Pipeline.pool
+            ~t_cons:setup.Core.Pipeline.t_cons ~eps h);
+       Printf.printf "wrote %s\n" path);
+    Printf.printf
+      "hybrid: %d paths + %d segments = %d measurements (eps' = %.1f%%, r1 = %d)\n"
+      (Array.length h.Core.Hybrid.path_indices)
+      (Array.length h.Core.Hybrid.segment_indices)
+      (Core.Hybrid.total_measurements h)
+      (100.0 *. h.Core.Hybrid.eps_prime)
+      h.Core.Hybrid.r1;
+    let m = Core.Pipeline.evaluate_hybrid setup h in
+    Printf.printf "Monte Carlo: e1 = %.2f%%  e2 = %.2f%%\n" (100.0 *. m.Core.Evaluate.e1)
+      (100.0 *. m.Core.Evaluate.e2);
+    Printf.printf "segments: %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int h.Core.Hybrid.segment_indices)))
+  in
+  Cmd.v
+    (Cmd.info "hybrid" ~doc:"Hybrid path/segment selection (Algorithm 3).")
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.08
+          $ liberty_arg $ report_arg)
+
+(* ---------------- spectrum ---------------- *)
+
+let spectrum_cmd =
+  let count =
+    Arg.(value & opt int 30 & info [ "count" ] ~doc:"Singular values to print.")
+  in
+  let run circuit scale seed levels random_boost tscale max_paths count =
+    let setup =
+      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths
+        ~liberty:None
+    in
+    let svd = Linalg.Svd.factor (Timing.Paths.a_mat setup.Core.Pipeline.pool) in
+    let norm = Core.Effective_rank.normalized_spectrum svd.Linalg.Svd.s in
+    Printf.printf "rank %d, effective rank (eta 5%%) %d\n" (Linalg.Svd.rank svd)
+      (Core.Effective_rank.of_singular_values ~eta:0.05 svd.Linalg.Svd.s);
+    Array.iteri
+      (fun i v -> if i < count then Printf.printf "%3d %.6g\n" (i + 1) v)
+      norm
+  in
+  Cmd.v
+    (Cmd.info "spectrum" ~doc:"Normalized singular values of A (Figure 2 data).")
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ count)
+
+(* ---------------- sdf ---------------- *)
+
+let sdf_cmd =
+  let run circuit scale seed liberty =
+    let netlist = load_circuit ~scale ~seed circuit in
+    let lib =
+      match load_liberty (Some (Option.value ~default:"builtin" liberty)) with
+      | Some l -> l
+      | None -> assert false
+    in
+    let sweep = Timing.Delay_calc.run lib netlist in
+    print_string (Timing.Sdf.write netlist ~delays:sweep.Timing.Delay_calc.delays)
+  in
+  Cmd.v
+    (Cmd.info "sdf"
+       ~doc:"Run the NLDM delay calculation and emit an SDF 3.0 annotation on stdout.")
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ liberty_arg)
+
+(* ---------------- diagnose ---------------- *)
+
+let diagnose_cmd =
+  let die_seed =
+    Arg.(value & opt int 1 & info [ "die-seed" ] ~doc:"Seed of the fabricated die.")
+  in
+  let top =
+    Arg.(value & opt int 8 & info [ "top" ] ~doc:"Attributions to print.")
+  in
+  let run circuit scale seed levels random_boost tscale max_paths die_seed top =
+    let setup =
+      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths
+        ~liberty:None
+    in
+    let sel = Core.Pipeline.exact_selection setup in
+    let pool = setup.Core.Pipeline.pool in
+    let diag = Core.Diagnose.build ~pool ~rep:sel.Core.Select.indices in
+    let mc = Timing.Monte_carlo.sample (Rng.create die_seed) pool ~n:1 in
+    let delays = Timing.Monte_carlo.path_delays mc in
+    let measured =
+      Array.map (fun i -> Linalg.Mat.get delays 0 i) sel.Core.Select.indices
+    in
+    Printf.printf "die %d: estimated die-to-die shift %+.2f sigma\n" die_seed
+      (Core.Diagnose.die_to_die_shift diag ~measured);
+    print_endline "top deviating variables:";
+    List.iter
+      (fun at ->
+        Printf.printf "  %-16s %+.2f sigma\n"
+          (Timing.Variation.var_name at.Core.Diagnose.var)
+          at.Core.Diagnose.z_score)
+      (Core.Diagnose.attribute ~top diag ~measured);
+    let failing =
+      Core.Diagnose.predicted_failures diag ~measured ~eps:sel.Core.Select.per_path_eps
+        ~t_cons:setup.Core.Pipeline.t_cons
+    in
+    Printf.printf "flagged paths on this die: %d of %d\n" (List.length failing)
+      (Timing.Paths.num_paths pool)
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Fabricate one Monte-Carlo die, measure the representative paths, and \
+             attribute its process deviations (post-silicon diagnosis).")
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ die_seed $ top)
+
+(* ---------------- experiment wrappers ---------------- *)
+
+let profile_arg =
+  let profile_conv =
+    Arg.conv'
+      ( (fun s ->
+          match Experiments.Profile.of_string s with
+          | Some p -> Ok p
+          | None -> Error "profile must be quick or full"),
+        fun ppf p -> Format.fprintf ppf "%s" p.Experiments.Profile.name )
+  in
+  Arg.(value & opt profile_conv Experiments.Profile.quick
+       & info [ "profile" ] ~doc:"Experiment profile: quick or full.")
+
+let experiment_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun p -> f p) $ profile_arg)
+
+let table1_cmd =
+  experiment_cmd "table1" "Regenerate the paper's Table 1." (fun p ->
+      ignore (Experiments.Table1.run p))
+
+let table2_cmd =
+  experiment_cmd "table2" "Regenerate the paper's Table 2." (fun p ->
+      ignore (Experiments.Table2.run p))
+
+let figure2_cmd =
+  experiment_cmd "figure2" "Regenerate the paper's Figure 2." (fun p ->
+      ignore (Experiments.Figure2.run p))
+
+let guardband_cmd =
+  experiment_cmd "guardband" "Regenerate the Section-6.3 guard-band analysis."
+    (fun p -> ignore (Experiments.Guardband_exp.run p))
+
+let ablation_cmd =
+  experiment_cmd "ablation" "Run the E5/E6 design ablations." (fun p ->
+      Experiments.Ablation.run p)
+
+let main =
+  Cmd.group
+    (Cmd.info "pathsel" ~version:"1.0.0"
+       ~doc:"Representative path selection for post-silicon timing prediction \
+             (Xie & Davoodi, DAC 2010).")
+    [ generate_cmd; select_cmd; hybrid_cmd; spectrum_cmd; sdf_cmd; diagnose_cmd;
+      table1_cmd; table2_cmd; figure2_cmd; guardband_cmd; ablation_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,48 @@
+(* Statistical gate criticality: under variation the critical path moves
+   from die to die, so "the" critical path of deterministic STA is the
+   wrong prioritization signal. This example compares the two views and
+   shows how criticality concentrates the measurement-structure budget.
+
+   Run with:  dune exec examples/criticality_map.exe *)
+
+let () =
+  let netlist =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = 300; seed = 9 }
+  in
+  let model = Timing.Variation.make_model ~levels:3 () in
+  let dm = Timing.Delay_model.build netlist model in
+
+  let nominal = Timing.Criticality.nominal_critical_gates dm in
+  Printf.printf "deterministic STA: ONE critical path, %d gates\n"
+    (Array.length nominal);
+
+  let c = Timing.Criticality.compute dm ~rng:(Rng.create 17) ~samples:2000 in
+  Printf.printf
+    "statistical view (2000 dies): mean critical length %.1f gates\n\n"
+    c.mean_critical_length;
+
+  let ranked = Timing.Criticality.ranking c in
+  print_endline "most critical gates (P[on the critical path]):";
+  Array.iteri
+    (fun k g ->
+      if k < 10 then begin
+        let gate = Circuit.Netlist.gate netlist g in
+        let on_nominal = Array.exists (fun x -> x = g) nominal in
+        Printf.printf "  %-8s %-6s p = %.3f%s\n" gate.Circuit.Netlist.name
+          (Circuit.Cell.name gate.Circuit.Netlist.cell)
+          c.probability.(g)
+          (if on_nominal then "  (on the nominal path)" else "")
+      end)
+    ranked;
+
+  (* how much of the criticality mass does the nominal path miss? *)
+  let mass ids = Array.fold_left (fun acc g -> acc +. c.probability.(g)) 0.0 ids in
+  let nominal_mass = mass nominal in
+  let top_same_budget = Array.sub ranked 0 (Array.length nominal) in
+  Printf.printf
+    "\ncriticality mass: nominal path carries %.1f of %.1f; the top-%d\n\
+     statistically-ranked gates carry %.1f — the gap is what deterministic\n\
+     STA misses under variation.\n"
+    nominal_mass c.mean_critical_length (Array.length nominal)
+    (mass top_same_budget)

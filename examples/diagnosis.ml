@@ -1,0 +1,84 @@
+(* Post-silicon diagnosis (the paper's Section-7 outlook, implemented):
+   from the measured representative-path delays of ONE die, estimate the
+   underlying process variations, separate a global (die-to-die) shift
+   from localized deviations, and list the paths the die will fail.
+
+   Run with:  dune exec examples/diagnosis.exe *)
+
+let () =
+  let netlist =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = 300; seed = 15 }
+  in
+  let model = Timing.Variation.make_model ~levels:3 () in
+  let setup = Core.Pipeline.prepare ~netlist ~model () in
+  (* debug instruments the exact representative set (r = rank A): more
+     measurements buy localization power *)
+  let sel = Core.Pipeline.exact_selection setup in
+  let pool = setup.pool in
+  let diag = Core.Diagnose.build ~pool ~rep:sel.indices in
+  Printf.printf "instrumented %d representative paths out of %d targets\n\n"
+    (Array.length sel.indices) (Timing.Paths.num_paths pool);
+
+  (* fabricate two interesting dies: a slow global-corner die and a die
+     with one deviant within-die region *)
+  let keys = Timing.Paths.var_keys pool in
+  let a = Timing.Paths.a_mat pool in
+  let mu = Timing.Paths.mu_paths pool in
+  let die_of x = Linalg.Vec.add mu (Linalg.Mat.apply a x) in
+  let measure delays = Array.map (fun i -> delays.(i)) sel.indices in
+
+  let slow_die =
+    let x = Array.make (Array.length keys) 0.0 in
+    Array.iteri
+      (fun i k ->
+        match k with
+        | Timing.Variation.Region { level = 0; _ } -> x.(i) <- 2.5
+        | Timing.Variation.Region _ | Timing.Variation.Gate_random _ -> ())
+      keys;
+    die_of x
+  in
+  let hotspot_die =
+    let x = Array.make (Array.length keys) 0.0 in
+    (* push one covered finest-level region (both parameters) *)
+    let hot_cell =
+      Array.to_list keys
+      |> List.filter_map (fun k ->
+           match k with
+           | Timing.Variation.Region { level = 2; cell; _ } -> Some cell
+           | Timing.Variation.Region _ | Timing.Variation.Gate_random _ -> None)
+      |> function
+      | cell :: _ -> cell
+      | [] -> 0
+    in
+    Array.iteri
+      (fun i k ->
+        match k with
+        | Timing.Variation.Region { level = 2; cell; _ } when cell = hot_cell ->
+          x.(i) <- 3.0
+        | Timing.Variation.Region _ | Timing.Variation.Gate_random _ -> ())
+      keys;
+    die_of x
+  in
+
+  let report name delays =
+    let measured = measure delays in
+    Printf.printf "--- %s ---\n" name;
+    Printf.printf "estimated die-to-die shift: %+.2f sigma\n"
+      (Core.Diagnose.die_to_die_shift diag ~measured);
+    print_endline "top deviating variables:";
+    List.iter
+      (fun at ->
+        Printf.printf "  %-14s %+.2f sigma\n"
+          (Timing.Variation.var_name at.Core.Diagnose.var)
+          at.Core.Diagnose.z_score)
+      (Core.Diagnose.attribute ~top:5 diag ~measured);
+    let failing =
+      Core.Diagnose.predicted_failures diag ~measured ~eps:sel.per_path_eps
+        ~t_cons:setup.t_cons
+    in
+    Printf.printf "paths flagged for this die: %d of %d\n\n" (List.length failing)
+      (Timing.Paths.num_paths pool)
+  in
+  report "die A: slow global corner (+2.5 sigma die-to-die)" slow_die;
+  report "die B: within-die hotspot (one quadrant +3 sigma)" hotspot_die

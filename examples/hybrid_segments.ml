@@ -1,0 +1,59 @@
+(* Hybrid path/segment selection (the paper's Algorithm 3): when the
+   independent random variation is strong, whole-path measurements stop
+   compressing well, and measuring a few SEGMENTS (to be exposed through
+   custom test structures) beats measuring paths. This example runs both
+   schemes on the same circuit with the random sensitivities boosted 3x
+   (the paper's Figure 2(b) regime) and prints the selected segments as
+   a test-structure worklist.
+
+   Run with:  dune exec examples/hybrid_segments.exe *)
+
+let () =
+  let netlist =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = 300; seed = 3 }
+  in
+  (* boosted random variation: the regime that motivates segments *)
+  let model = Timing.Variation.make_model ~levels:3 ~random_boost:3.0 () in
+  let setup = Core.Pipeline.prepare ~netlist ~model () in
+  let eps = 0.08 in
+  Printf.printf "pool: %d target paths, %d segments, %d variables\n"
+    (Timing.Paths.num_paths setup.pool)
+    (Timing.Paths.num_segments setup.pool)
+    (Timing.Paths.num_vars setup.pool);
+
+  let approx = Core.Pipeline.approximate_selection setup ~eps in
+  let am = Core.Pipeline.evaluate_selection setup approx in
+  Printf.printf "\npath-only selection (Algorithm 1): %d paths, MC e1 = %.2f%%\n"
+    (Array.length approx.indices) (100.0 *. am.e1);
+
+  let hybrid = Core.Pipeline.hybrid_selection setup ~eps in
+  let hm = Core.Pipeline.evaluate_hybrid setup hybrid in
+  Printf.printf
+    "hybrid selection (Algorithm 3): %d paths + %d segments = %d measurements, \
+     MC e1 = %.2f%% (eps' = %.1f%%)\n"
+    (Array.length hybrid.path_indices)
+    (Array.length hybrid.segment_indices)
+    (Core.Hybrid.total_measurements hybrid)
+    (100.0 *. hm.e1)
+    (100.0 *. hybrid.eps_prime);
+
+  print_endline "\ncustom test-structure worklist (selected segments):";
+  Array.iter
+    (fun s ->
+      let gates = Timing.Paths.segment_gates setup.pool s in
+      let names =
+        gates |> Array.to_list
+        |> List.map (fun g -> (Circuit.Netlist.gate netlist g).Circuit.Netlist.name)
+      in
+      let mu = Timing.Paths.mu_segments setup.pool in
+      Printf.printf "  segment %3d: %2d gates, %.1f ps nominal  [%s%s]\n" s
+        (Array.length gates) mu.(s)
+        (String.concat " " (List.filteri (fun i _ -> i < 6) names))
+        (if Array.length gates > 6 then " ..." else ""))
+    hybrid.segment_indices;
+
+  if Array.length hybrid.path_indices > 0 then begin
+    print_endline "\npaths still measured directly (scan-based, e.g. [10]):";
+    Array.iter (fun i -> Printf.printf "  path %d\n" i) hybrid.path_indices
+  end

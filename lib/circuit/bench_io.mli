@@ -1,0 +1,30 @@
+(** ISCAS'89 [.bench] netlist format.
+
+    Supported syntax:
+    {v
+      # comment
+      INPUT(a)
+      OUTPUT(z)
+      n1 = NAND(a, b)
+      n2 = DFF(n1)
+    v}
+    [DFF] cells are cut for static timing the usual way: the D pin
+    becomes a pseudo primary output and the Q pin a pseudo primary
+    input, so all parsed paths are combinational.
+
+    The format has no placement; {!parse} synthesizes a deterministic
+    placement by the same fanin-averaging rule the generator uses. *)
+
+exception Parse_error of int * string
+(** [(line, message)]. *)
+
+val parse : name:string -> string -> Netlist.t
+(** Parse from the string contents of a [.bench] file. *)
+
+val parse_file : string -> Netlist.t
+(** Parse from a path; the netlist name is the file basename. *)
+
+val print : Netlist.t -> string
+(** Render a netlist back to [.bench] text (placement is not
+    representable and is dropped; multi-input cells are emitted with
+    their generic ISCAS spelling). *)

@@ -1,0 +1,89 @@
+type preset = {
+  bench_name : string;
+  gate_count : int;
+  depth : int;
+  inputs : int;
+  outputs : int;
+  region_levels : int;
+}
+
+let all =
+  [
+    { bench_name = "s1196"; gate_count = 529; depth = 24; inputs = 32; outputs = 32;
+      region_levels = 3 };
+    { bench_name = "s1238"; gate_count = 508; depth = 22; inputs = 32; outputs = 32;
+      region_levels = 3 };
+    { bench_name = "s1423"; gate_count = 657; depth = 53; inputs = 91; outputs = 79;
+      region_levels = 3 };
+    { bench_name = "s1488"; gate_count = 653; depth = 17; inputs = 14; outputs = 25;
+      region_levels = 3 };
+    { bench_name = "s5378"; gate_count = 2779; depth = 21; inputs = 214; outputs = 228;
+      region_levels = 5 };
+    { bench_name = "s9234"; gate_count = 5597; depth = 38; inputs = 247; outputs = 250;
+      region_levels = 5 };
+    { bench_name = "s13207"; gate_count = 7951; depth = 32; inputs = 700; outputs = 790;
+      region_levels = 5 };
+    { bench_name = "s15850"; gate_count = 9772; depth = 47; inputs = 611; outputs = 684;
+      region_levels = 5 };
+    { bench_name = "s35932"; gate_count = 16065; depth = 29; inputs = 1763; outputs = 2048;
+      region_levels = 5 };
+    { bench_name = "s38417"; gate_count = 22179; depth = 33; inputs = 1664; outputs = 1742;
+      region_levels = 5 };
+  ]
+
+let extended =
+  let mk bench_name gate_count depth inputs outputs =
+    let region_levels = if gate_count <= 1000 then 3 else 5 in
+    { bench_name; gate_count; depth; inputs; outputs; region_levels }
+  in
+  all
+  @ [
+      mk "s27" 10 4 7 5;
+      mk "s208" 96 11 19 11;
+      mk "s298" 119 9 17 20;
+      mk "s344" 160 14 24 26;
+      mk "s349" 161 14 24 26;
+      mk "s382" 158 9 24 27;
+      mk "s386" 159 11 13 13;
+      mk "s400" 162 9 24 27;
+      mk "s420" 218 13 35 18;
+      mk "s444" 181 11 24 27;
+      mk "s510" 211 12 25 13;
+      mk "s526" 193 9 24 27;
+      mk "s641" 379 23 54 43;
+      mk "s713" 393 23 54 42;
+      mk "s820" 289 10 23 24;
+      mk "s832" 287 10 23 24;
+      mk "s838" 446 16 67 33;
+      mk "s953" 395 16 45 52;
+      mk "s1494" 647 17 14 25;
+      mk "s38584" 19253 31 1464 1730;
+    ]
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find_opt (fun p -> p.bench_name = lname) extended
+
+(* stable small hash of the preset name for seeding *)
+let seed_of_name name =
+  let acc = ref 5381 in
+  String.iter (fun c -> acc := ((!acc lsl 5) + !acc + Char.code c) land 0x3FFFFFFF) name;
+  !acc
+
+let netlist ?(scale = 1.0) p =
+  if not (scale > 0.0 && scale <= 1.0) then
+    invalid_arg "Benchmarks.netlist: scale must be in (0, 1]";
+  let sc n = max 4 (int_of_float (Float.round (scale *. float_of_int n))) in
+  Generator.generate
+    {
+      Generator.num_gates = sc p.gate_count;
+      num_inputs = sc p.inputs;
+      num_outputs = sc p.outputs;
+      depth = p.depth;
+      hub_fraction = 0.05;
+      seed = seed_of_name p.bench_name;
+    }
+
+let region_count p =
+  let rec sum k acc = if k >= p.region_levels then acc else sum (k + 1) (acc + (1 lsl (2 * k))) in
+  sum 0 0

@@ -1,0 +1,100 @@
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nor2
+  | Nor3
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Aoi21
+  | Oai21
+
+let all =
+  [ Inv; Buf; Nand2; Nand3; Nor2; Nor3; And2; Or2; Xor2; Xnor2; Aoi21; Oai21 ]
+
+let name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nand3 -> "NAND3"
+  | Nor2 -> "NOR2"
+  | Nor3 -> "NOR3"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "INV" | "NOT" -> Some Inv
+  | "BUF" | "BUFF" -> Some Buf
+  | "NAND2" | "NAND" -> Some Nand2
+  | "NAND3" -> Some Nand3
+  | "NOR2" | "NOR" -> Some Nor2
+  | "NOR3" -> Some Nor3
+  | "AND2" | "AND" -> Some And2
+  | "OR2" | "OR" -> Some Or2
+  | "XOR2" | "XOR" -> Some Xor2
+  | "XNOR2" | "XNOR" -> Some Xnor2
+  | "AOI21" -> Some Aoi21
+  | "OAI21" -> Some Oai21
+  | _ -> None
+
+let arity = function
+  | Inv | Buf -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 -> 2
+  | Nand3 | Nor3 | Aoi21 | Oai21 -> 3
+
+let intrinsic_delay = function
+  | Inv -> 14.0
+  | Buf -> 26.0
+  | Nand2 -> 22.0
+  | Nand3 -> 31.0
+  | Nor2 -> 27.0
+  | Nor3 -> 39.0
+  | And2 -> 33.0
+  | Or2 -> 37.0
+  | Xor2 -> 48.0
+  | Xnor2 -> 50.0
+  | Aoi21 -> 36.0
+  | Oai21 -> 34.0
+
+let load_delay = function
+  | Inv -> 4.5
+  | Buf -> 3.5
+  | Nand2 -> 5.5
+  | Nand3 -> 6.5
+  | Nor2 -> 7.0
+  | Nor3 -> 8.5
+  | And2 -> 5.0
+  | Or2 -> 5.5
+  | Xor2 -> 7.5
+  | Xnor2 -> 7.5
+  | Aoi21 -> 7.0
+  | Oai21 -> 6.5
+
+let delay k ~fanout = intrinsic_delay k +. (load_delay k *. float_of_int (max 0 (fanout - 1)))
+
+(* First-order delay sensitivities to a 1-sigma (10% of mean) parameter
+   excursion, as a fraction of nominal delay. L_eff couples more strongly
+   than V_t at nominal supply; stacked/complex gates couple a bit more. *)
+let leff_sensitivity = function
+  | Inv | Buf -> 0.075
+  | Nand2 | And2 -> 0.085
+  | Nor2 | Or2 -> 0.090
+  | Nand3 | Nor3 -> 0.095
+  | Xor2 | Xnor2 -> 0.100
+  | Aoi21 | Oai21 -> 0.095
+
+let vt_sensitivity = function
+  | Inv | Buf -> 0.055
+  | Nand2 | And2 -> 0.060
+  | Nor2 | Or2 -> 0.065
+  | Nand3 | Nor3 -> 0.070
+  | Xor2 | Xnor2 -> 0.075
+  | Aoi21 | Oai21 -> 0.070

@@ -1,0 +1,155 @@
+type params = {
+  num_gates : int;
+  num_inputs : int;
+  num_outputs : int;
+  depth : int;
+  hub_fraction : float;
+  seed : int;
+}
+
+let default =
+  { num_gates = 400; num_inputs = 30; num_outputs = 25; depth = 14;
+    hub_fraction = 0.05; seed = 1 }
+
+(* Cell mix of a typical area-optimized synthesized netlist: NAND/NOR
+   heavy, some complex cells, few XORs. *)
+let pick_cell rng =
+  let r = Rng.float rng in
+  if r < 0.22 then Cell.Inv
+  else if r < 0.30 then Cell.Buf
+  else if r < 0.52 then Cell.Nand2
+  else if r < 0.60 then Cell.Nor2
+  else if r < 0.68 then Cell.And2
+  else if r < 0.76 then Cell.Or2
+  else if r < 0.82 then Cell.Nand3
+  else if r < 0.86 then Cell.Nor3
+  else if r < 0.90 then Cell.Xor2
+  else if r < 0.93 then Cell.Xnor2
+  else if r < 0.97 then Cell.Aoi21
+  else Cell.Oai21
+
+let generate p =
+  if p.num_gates <= 0 || p.num_inputs <= 0 || p.num_outputs <= 0 then
+    invalid_arg "Generator.generate: sizes must be positive";
+  if p.depth < 1 then invalid_arg "Generator.generate: depth must be >= 1";
+  let rng = Rng.create p.seed in
+  let depth = min p.depth p.num_gates in
+  (* Distribute gates over levels: wider in the middle, like a synthesized
+     cone structure. *)
+  let level_of = Array.make p.num_gates 0 in
+  let weight l =
+    let t = float_of_int l /. float_of_int (max 1 (depth - 1)) in
+    0.5 +. (2.0 *. t *. (1.0 -. t))
+  in
+  let weights = Array.init depth weight in
+  let wtotal = Array.fold_left ( +. ) 0.0 weights in
+  (* at least one gate per level, rest proportional to the weights *)
+  let counts = Array.make depth 1 in
+  let remaining = ref (p.num_gates - depth) in
+  for l = 0 to depth - 1 do
+    let share =
+      int_of_float (Float.round (weights.(l) /. wtotal *. float_of_int (p.num_gates - depth)))
+    in
+    let add = min !remaining share in
+    counts.(l) <- counts.(l) + add;
+    remaining := !remaining - add
+  done;
+  (* dump any rounding remainder into the middle level *)
+  counts.(depth / 2) <- counts.(depth / 2) + !remaining;
+  let next_id = ref 0 in
+  let by_level = Array.make depth [||] in
+  for l = 0 to depth - 1 do
+    by_level.(l) <- Array.init counts.(l) (fun _ ->
+        let id = !next_id in
+        incr next_id;
+        level_of.(id) <- l;
+        id)
+  done;
+  assert (!next_id = p.num_gates);
+  (* Mark hubs: gates whose outputs are preferentially reused. *)
+  let is_hub = Array.make p.num_gates false in
+  let n_hubs = int_of_float (p.hub_fraction *. float_of_int p.num_gates) in
+  for _ = 1 to n_hubs do
+    is_hub.(Rng.int rng p.num_gates) <- true
+  done;
+  (* Pick a fanin signal for a gate at level [l]: mostly the previous
+     level (long chains), sometimes any earlier level (reconvergence),
+     occasionally a primary input. Hubs at the source level are chosen
+     with boosted probability. *)
+  let pick_from_level lsrc =
+    let cands = by_level.(lsrc) in
+    let c0 = cands.(Rng.int rng (Array.length cands)) in
+    if is_hub.(c0) then c0
+    else begin
+      (* one redraw biased toward hubs *)
+      let c1 = cands.(Rng.int rng (Array.length cands)) in
+      if is_hub.(c1) then c1 else c0
+    end
+  in
+  let pick_fanin l =
+    if l = 0 then Netlist.Pi (Rng.int rng p.num_inputs)
+    else begin
+      let r = Rng.float rng in
+      if r < 0.12 then Netlist.Pi (Rng.int rng p.num_inputs)
+      else if r < 0.82 then Netlist.Gate_out (pick_from_level (l - 1))
+      else Netlist.Gate_out (pick_from_level (Rng.int rng l))
+    end
+  in
+  (* Placement: a gate sits near the mean position of its gate fanins
+     (placement locality), with jitter; level-0 gates spread on a grid. *)
+  let positions = Array.make p.num_gates (0.0, 0.0) in
+  let clamp v = Float.min 1.0 (Float.max 0.0 v) in
+  let place id fanin =
+    let gate_positions =
+      Array.to_list fanin
+      |> List.filter_map (function
+           | Netlist.Gate_out g -> Some positions.(g)
+           | Netlist.Pi _ -> None)
+    in
+    let x, y =
+      match gate_positions with
+      | [] -> (Rng.float rng, Rng.float rng)
+      | ps ->
+        let n = float_of_int (List.length ps) in
+        let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 ps in
+        let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 ps in
+        ( clamp ((sx /. n) +. Rng.uniform rng (-0.06) 0.06),
+          clamp ((sy /. n) +. Rng.uniform rng (-0.06) 0.06) )
+    in
+    positions.(id) <- (x, y)
+  in
+  let gate_defs = ref [] in
+  for l = 0 to depth - 1 do
+    Array.iter
+      (fun id ->
+        let cell = pick_cell rng in
+        let fanin = Array.init (Cell.arity cell) (fun _ -> pick_fanin l) in
+        place id fanin;
+        gate_defs := (Printf.sprintf "g%d" id, cell, fanin, positions.(id)) :: !gate_defs)
+      by_level.(l)
+  done;
+  let gate_defs = List.rev !gate_defs in
+  (* Outputs: every sink-less gate must be observable, then top up with
+     last-level gates until we reach the requested output count. *)
+  let has_fanout = Array.make p.num_gates false in
+  List.iter
+    (fun (_, _, fanin, _) ->
+      Array.iter
+        (function Netlist.Gate_out g -> has_fanout.(g) <- true | Netlist.Pi _ -> ())
+        fanin)
+    gate_defs;
+  let sinkless = ref [] in
+  for id = p.num_gates - 1 downto 0 do
+    if not has_fanout.(id) then sinkless := id :: !sinkless
+  done;
+  let outputs = ref (List.map (fun id -> Netlist.Gate_out id) !sinkless) in
+  let last = by_level.(depth - 1) in
+  let i = ref 0 in
+  while List.length !outputs < p.num_outputs && !i < Array.length last do
+    let id = last.(!i) in
+    incr i;
+    if has_fanout.(id) then outputs := Netlist.Gate_out id :: !outputs
+  done;
+  Netlist.build
+    ~name:(Printf.sprintf "synth%d_s%d" p.num_gates p.seed)
+    ~num_inputs:p.num_inputs ~gates:gate_defs ~outputs:!outputs

@@ -1,0 +1,26 @@
+(** Synthetic ISCAS-like netlist generation.
+
+    The paper evaluates on ISCAS'89 benchmarks synthesized with a
+    commercial flow; those netlists are not redistributable, so this
+    generator produces deterministic netlists with the same structural
+    statistics that matter to the method: gate count, logic depth,
+    reconvergent fanout (which makes target paths share segments), and
+    placement locality (which makes the spatial-correlation model bind).
+    See DESIGN.md, "Substitutions". *)
+
+type params = {
+  num_gates : int;
+  num_inputs : int;
+  num_outputs : int;
+  depth : int;          (** target logic depth in gates *)
+  hub_fraction : float; (** fraction of gates that become high-fanout hubs,
+                            driving reconvergence; typical 0.05 *)
+  seed : int;
+}
+
+val default : params
+(** 400 gates, 30 inputs, 25 outputs, depth 14, 5% hubs, seed 1. *)
+
+val generate : params -> Netlist.t
+(** Deterministic in [params]. Raises [Invalid_argument] on
+    non-positive sizes or [depth < 1]. *)

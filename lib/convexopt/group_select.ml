@@ -1,0 +1,189 @@
+type options = {
+  lambda_steps : int;
+  bisect_steps : int;
+  support_tol : float;
+  fista_stop : Fista.stop;
+}
+
+let default_options =
+  {
+    lambda_steps = 16;
+    bisect_steps = 6;
+    support_tol = 1e-5;
+    fista_stop = { Fista.max_iter = 200; rel_tol = 1e-6 };
+  }
+
+type result = {
+  b : Linalg.Mat.t;
+  support : int array;
+  row_errors : float array;
+  feasible : bool;
+  lambda : float;
+}
+
+let row_errors ~sigma ~g1 ~b ~kappa =
+  let e = Linalg.Mat.mul (Linalg.Mat.sub g1 b) sigma in
+  Array.map (fun s -> kappa *. s) (Linalg.Mat.row_norms2 e)
+
+let support_of ~tol b =
+  let _, n_s = Linalg.Mat.dims b in
+  let col_max = Array.make n_s 0.0 in
+  let r1, _ = Linalg.Mat.dims b in
+  for j = 0 to n_s - 1 do
+    for i = 0 to r1 - 1 do
+      col_max.(j) <- Float.max col_max.(j) (Float.abs (Linalg.Mat.get b i j))
+    done
+  done;
+  let global = Array.fold_left Float.max 0.0 col_max in
+  let thr = tol *. Float.max 1e-300 global in
+  let sel = ref [] in
+  for j = n_s - 1 downto 0 do
+    if col_max.(j) > thr then sel := j :: !sel
+  done;
+  Array.of_list !sel
+
+let refit ~sigma ~g1 ~support =
+  let r1, n_s = Linalg.Mat.dims g1 in
+  let b = Linalg.Mat.create r1 n_s in
+  if Array.length support > 0 then begin
+    (* per row i: min_b || sigma^T g1_i - sigma_S^T b ||_2 *)
+    let sigma_t = Linalg.Mat.transpose sigma in          (* m x n_S *)
+    let sigma_s_t = Linalg.Mat.select_cols sigma_t support in  (* m x |S| *)
+    let rhs = Linalg.Mat.mul_nt sigma_t g1 in            (* m x r1 *)
+    let coeffs = Linalg.Lstsq.solve_mat sigma_s_t rhs in (* |S| x r1 *)
+    Array.iteri
+      (fun k j ->
+        for i = 0 to r1 - 1 do
+          Linalg.Mat.set b i j (Linalg.Mat.get coeffs k i)
+        done)
+      support
+  end;
+  b
+
+let select ?(options = default_options) ~sigma ~g1 ~bounds ~kappa () =
+  let r1, n_s = Linalg.Mat.dims g1 in
+  let n_s', _ = Linalg.Mat.dims sigma in
+  if n_s <> n_s' then invalid_arg "Group_select.select: g1/sigma dimension mismatch";
+  if Array.length bounds <> r1 then
+    invalid_arg "Group_select.select: bounds length mismatch";
+  if kappa <= 0.0 then invalid_arg "Group_select.select: kappa must be positive";
+  Array.iter
+    (fun bound -> if bound <= 0.0 then
+        invalid_arg "Group_select.select: bounds must be positive")
+    bounds;
+  let q = Linalg.Mat.gram sigma in  (* n_S x n_S; grad f(B) = (B - G1) Q *)
+  let lips = Float.max 1e-12 (Fista.power_iteration_norm q) in
+  let g1q = Linalg.Mat.mul g1 q in
+  let grad_f b = Linalg.Mat.sub (Linalg.Mat.mul b q) g1q in
+  let smooth b =
+    let d = Linalg.Mat.sub g1 b in
+    let e = Linalg.Mat.mul d sigma in
+    0.5 *. (Linalg.Mat.frobenius e ** 2.0)
+  in
+  let col_linf_sum b =
+    let s = ref 0.0 in
+    for j = 0 to n_s - 1 do
+      let m = ref 0.0 in
+      for i = 0 to r1 - 1 do
+        m := Float.max !m (Float.abs (Linalg.Mat.get b i j))
+      done;
+      s := !s +. !m
+    done;
+    !s
+  in
+  let prox lambda b step =
+    let tau = lambda *. step in
+    let out = Linalg.Mat.copy b in
+    for j = 0 to n_s - 1 do
+      let col = Linalg.Mat.col out j in
+      let p = Prox.prox_linf col tau in
+      for i = 0 to r1 - 1 do
+        Linalg.Mat.set out i j p.(i)
+      done
+    done;
+    out
+  in
+  let solve_at lambda init =
+    Fista.solve ~stop:options.fista_stop
+      {
+        Fista.grad_f;
+        prox_g = prox lambda;
+        objective = (fun b -> smooth b +. (lambda *. col_linf_sum b));
+        lipschitz = lips;
+      }
+      ~init
+  in
+  (* Evaluate a lambda: solve, take the support, refit, check bounds. *)
+  let evaluate lambda init =
+    let rep = solve_at lambda init in
+    let support = support_of ~tol:options.support_tol rep.Fista.solution in
+    let b = refit ~sigma ~g1 ~support in
+    let errors = row_errors ~sigma ~g1 ~b ~kappa in
+    let feasible =
+      Array.for_all (fun x -> x) (Array.mapi (fun i e -> e <= bounds.(i)) errors)
+    in
+    (rep.Fista.solution, support, b, errors, feasible)
+  in
+  (* lambda_max: the value at which B = 0 is already optimal-ish; use the
+     largest column norm of the gradient at zero. *)
+  let lambda_max =
+    let g0 = grad_f (Linalg.Mat.create r1 n_s) in
+    let m = ref 1e-12 in
+    for j = 0 to n_s - 1 do
+      m := Float.max !m (Linalg.Vec.norm1 (Linalg.Mat.col g0 j))
+    done;
+    !m
+  in
+  let lambda_min = lambda_max *. 1e-7 in
+  let ratio =
+    (lambda_min /. lambda_max) ** (1.0 /. float_of_int (max 1 (options.lambda_steps - 1)))
+  in
+  (* Sweep from sparse (large lambda) to dense; keep the sparsest feasible. *)
+  let best = ref None in
+  let last_infeasible = ref None in
+  let init = ref (Linalg.Mat.create r1 n_s) in
+  (try
+     let lambda = ref lambda_max in
+     for _ = 1 to options.lambda_steps do
+       let raw, support, b, errors, feasible = evaluate !lambda !init in
+       init := raw;
+       if feasible then begin
+         best := Some (!lambda, support, b, errors);
+         raise Exit
+       end
+       else last_infeasible := Some (!lambda, support, b, errors);
+       lambda := !lambda *. ratio
+     done
+   with Exit -> ());
+  (* Refine between the feasible lambda and the last infeasible one to
+     shrink the support further. *)
+  (match !best, !last_infeasible with
+   | Some (lo, _, _, _), Some (hi, _, _, _) when hi > lo ->
+     let lo = ref lo and hi = ref hi in
+     for _ = 1 to options.bisect_steps do
+       let mid = sqrt (!lo *. !hi) in
+       let raw, support, b, errors, feasible = evaluate mid !init in
+       init := raw;
+       if feasible then begin
+         (match !best with
+          | Some (_, s0, _, _) when Array.length support <= Array.length s0 ->
+            best := Some (mid, support, b, errors)
+          | Some _ | None -> ());
+         lo := mid
+       end
+       else hi := mid
+     done
+   | Some _, Some _ | Some _, None | None, Some _ | None, None -> ());
+  match !best with
+  | Some (lambda, support, b, errors) ->
+    { b; support; row_errors = errors; feasible = true; lambda }
+  | None ->
+    (* nothing feasible: return the densest attempt (smallest lambda tried) *)
+    let support = Array.init n_s (fun j -> j) in
+    let b = refit ~sigma ~g1 ~support in
+    let errors = row_errors ~sigma ~g1 ~b ~kappa in
+    let feasible =
+      Array.for_all (fun x -> x) (Array.mapi (fun i e -> e <= bounds.(i)) errors)
+    in
+    { b; support; row_errors = errors; feasible; lambda = 0.0 }
+

@@ -1,0 +1,56 @@
+(** Simultaneous variable (segment) selection — the paper's Eqn (10).
+
+    Given the representative-path incidence [g1] ([r1 x n_S]) and the
+    segment sensitivity matrix [sigma] ([n_S x m]), find a coefficient
+    matrix [b] with few non-zero {e columns} (each non-zero column =
+    one selected segment) such that every row of the prediction error
+    [(g1 - b) * sigma] has worst-case magnitude (kappa times its
+    Gaussian standard deviation) within its row bound.
+
+    The convex l1/l-inf relaxation is solved in penalized form with
+    FISTA; the penalty weight is swept/bisected to the sparsest
+    feasible support, and the final [b] is refit by least squares on
+    that support (which also realizes Step 3 of the paper's
+    Algorithm 3). *)
+
+type options = {
+  lambda_steps : int;   (** geometric sweep resolution, default 24 *)
+  bisect_steps : int;   (** refinement bisections, default 10 *)
+  support_tol : float;  (** relative column-norm threshold, default 1e-6 *)
+  fista_stop : Fista.stop;
+}
+
+val default_options : options
+
+type result = {
+  b : Linalg.Mat.t;            (** refit coefficients, [r1 x n_S],
+                                   zero outside [support] columns *)
+  support : int array;         (** selected segment indices, increasing *)
+  row_errors : float array;    (** kappa * stddev of each row's error *)
+  feasible : bool;             (** all row errors within bounds *)
+  lambda : float;              (** penalty weight that produced [support] *)
+}
+
+val select :
+  ?options:options ->
+  sigma:Linalg.Mat.t ->
+  g1:Linalg.Mat.t ->
+  bounds:float array ->
+  kappa:float ->
+  unit ->
+  result
+(** Raises [Invalid_argument] on dimension mismatches, non-positive
+    [kappa], or a non-positive bound. If even the dense solution is
+    infeasible the densest support found is returned with
+    [feasible = false]. *)
+
+val refit :
+  sigma:Linalg.Mat.t -> g1:Linalg.Mat.t -> support:int array -> Linalg.Mat.t
+(** Least-squares refit of [b] on a fixed support: per row [i],
+    minimize [|| (g1_i - b_i) sigma ||_2] over [b_i] supported on
+    [support]. *)
+
+val row_errors :
+  sigma:Linalg.Mat.t -> g1:Linalg.Mat.t -> b:Linalg.Mat.t -> kappa:float ->
+  float array
+(** [kappa * || (g1_i - b_i) sigma ||_2] per row. *)

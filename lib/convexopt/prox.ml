@@ -1,0 +1,40 @@
+let project_l1_ball v r =
+  if r < 0.0 then invalid_arg "Prox.project_l1_ball: negative radius";
+  let n = Array.length v in
+  let l1 = Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 v in
+  if l1 <= r then Array.copy v
+  else begin
+    (* find the shrinkage threshold theta from the sorted magnitudes *)
+    let u = Array.map Float.abs v in
+    Array.sort (fun a b -> compare b a) u;
+    let cum = ref 0.0 in
+    let theta = ref 0.0 in
+    (try
+       for k = 0 to n - 1 do
+         cum := !cum +. u.(k);
+         let t = (!cum -. r) /. float_of_int (k + 1) in
+         if k = n - 1 || u.(k + 1) <= t then begin
+           theta := t;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Array.map
+      (fun x ->
+        let m = Float.abs x -. !theta in
+        if m <= 0.0 then 0.0 else if x > 0.0 then m else -.m)
+      v
+  end
+
+let prox_linf v tau =
+  if tau < 0.0 then invalid_arg "Prox.prox_linf: negative tau";
+  if tau = 0.0 then Array.copy v
+  else begin
+    let scaled = Array.map (fun x -> x /. tau) v in
+    let proj = project_l1_ball scaled 1.0 in
+    Array.mapi (fun i x -> x -. (tau *. proj.(i))) v
+  end
+
+let soft_threshold x tau =
+  let m = Float.abs x -. tau in
+  if m <= 0.0 then 0.0 else if x > 0.0 then m else -.m

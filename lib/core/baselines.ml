@@ -1,0 +1,125 @@
+let random_selection ~rng ~a ~mu ~r =
+  let n, _ = Linalg.Mat.dims a in
+  if r <= 0 || r > n then invalid_arg "Baselines.random_selection: bad r";
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  let rep = Array.sub order 0 r in
+  Array.sort compare rep;
+  Predictor.build ~a ~mu ~rep
+
+type features = {
+  length : float;
+  nominal : float;
+  sigma : float;
+  cell_mix : float array;
+}
+
+let n_kinds = List.length Circuit.Cell.all
+
+let kind_index =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i k -> Hashtbl.replace tbl k i) Circuit.Cell.all;
+  fun k -> Hashtbl.find tbl k
+
+let path_features pool i =
+  let p = Timing.Paths.path pool i in
+  let nl = Timing.Delay_model.netlist (Timing.Paths.delay_model pool) in
+  let mix = Array.make n_kinds 0.0 in
+  Array.iter
+    (fun g ->
+      let k = kind_index (Circuit.Netlist.gate nl g).Circuit.Netlist.cell in
+      mix.(k) <- mix.(k) +. 1.0)
+    p.Timing.Path_extract.gates;
+  let len = float_of_int (Array.length p.Timing.Path_extract.gates) in
+  {
+    length = len;
+    nominal = p.Timing.Path_extract.mu;
+    sigma = p.Timing.Path_extract.sigma;
+    cell_mix = Array.map (fun c -> c /. Float.max 1.0 len) mix;
+  }
+
+(* Feature vectors, each coordinate normalized to unit spread over the
+   pool so the k-means metric is not dominated by the ps-scale mean. *)
+let feature_matrix pool =
+  let n = Timing.Paths.num_paths pool in
+  let feats = Array.init n (fun i -> path_features pool i) in
+  let dim = 3 + n_kinds in
+  let raw =
+    Linalg.Mat.init n dim (fun i j ->
+        let f = feats.(i) in
+        if j = 0 then f.length
+        else if j = 1 then f.nominal
+        else if j = 2 then f.sigma
+        else f.cell_mix.(j - 3))
+  in
+  let cols = Array.init dim (fun j -> Linalg.Mat.col raw j) in
+  let spreads =
+    Array.map (fun c -> Float.max 1e-9 (Stats.Descriptive.stddev c)) cols
+  in
+  let means = Array.map Stats.Descriptive.mean cols in
+  Linalg.Mat.init n dim (fun i j ->
+      (Linalg.Mat.get raw i j -. means.(j)) /. spreads.(j))
+
+let feature_clustering ~rng ~pool ~r =
+  let n = Timing.Paths.num_paths pool in
+  if r <= 0 || r > n then invalid_arg "Baselines.feature_clustering: bad r";
+  let fm = feature_matrix pool in
+  let assign = Cluster.kmeans_rows ~rng ~k:r fm in
+  let k = 1 + Array.fold_left max 0 assign in
+  (* medoid per cluster: the member closest to the cluster mean *)
+  let dim = snd (Linalg.Mat.dims fm) in
+  let sums = Linalg.Mat.create k dim in
+  let counts = Array.make k 0 in
+  for i = 0 to n - 1 do
+    let c = assign.(i) in
+    counts.(c) <- counts.(c) + 1;
+    for j = 0 to dim - 1 do
+      Linalg.Mat.set sums c j (Linalg.Mat.get sums c j +. Linalg.Mat.get fm i j)
+    done
+  done;
+  let medoids = ref [] in
+  for c = 0 to k - 1 do
+    if counts.(c) > 0 then begin
+      let centroid =
+        Array.init dim (fun j -> Linalg.Mat.get sums c j /. float_of_int counts.(c))
+      in
+      let best = ref (-1) and best_d = ref infinity in
+      for i = 0 to n - 1 do
+        if assign.(i) = c then begin
+          let d = Linalg.Vec.dist2 (Linalg.Mat.row fm i) centroid in
+          if d < !best_d then begin
+            best_d := d;
+            best := i
+          end
+        end
+      done;
+      medoids := !best :: !medoids
+    end
+  done;
+  let rep = Array.of_list (List.sort_uniq compare !medoids) in
+  Predictor.build ~a:(Timing.Paths.a_mat pool) ~mu:(Timing.Paths.mu_paths pool) ~rep
+
+let representative_critical_path ~pool =
+  let a = Timing.Paths.a_mat pool in
+  let mu = Timing.Paths.mu_paths pool in
+  let n = Timing.Paths.num_paths pool in
+  (* correlation of each path with the circuit delay, on a modest MC
+     sample (the RCP of [7] is synthesized for exactly this target) *)
+  let mc = Timing.Monte_carlo.sample (Rng.create 12345) pool ~n:600 in
+  let d = Timing.Monte_carlo.path_delays mc in
+  let samples, _ = Linalg.Mat.dims d in
+  let circuit = Array.make samples neg_infinity in
+  for s = 0 to samples - 1 do
+    for i = 0 to n - 1 do
+      circuit.(s) <- Float.max circuit.(s) (Linalg.Mat.get d s i)
+    done
+  done;
+  let best = ref 0 and best_corr = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let corr = Stats.Descriptive.correlation (Linalg.Mat.col d i) circuit in
+    if corr > !best_corr then begin
+      best_corr := corr;
+      best := i
+    end
+  done;
+  Predictor.build ~a ~mu ~rep:[| !best |]

@@ -1,0 +1,7 @@
+type t = { kappa : float; eta : float; rank_tol : float option }
+
+let default = { kappa = 3.0; eta = 0.05; rank_tol = None }
+
+let validate t =
+  if t.kappa <= 0.0 then invalid_arg "Config: kappa must be positive";
+  if t.eta <= 0.0 || t.eta >= 1.0 then invalid_arg "Config: eta outside (0,1)"

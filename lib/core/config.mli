@@ -1,0 +1,17 @@
+(** Method-level configuration shared by the selection algorithms. *)
+
+type t = {
+  kappa : float;
+  (** quantile multiplier of the worst-case operator WC(y) =
+      |mean| + kappa * std; 3.0 covers 99.87% one-sided *)
+  eta : float;
+  (** effective-rank energy threshold (Section 4.2), e.g. 0.05 *)
+  rank_tol : float option;
+  (** singular-value threshold for rank(A); [None] = automatic *)
+}
+
+val default : t
+(** kappa = 3.0, eta = 0.05, automatic rank tolerance. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when kappa <= 0 or eta outside (0, 1). *)

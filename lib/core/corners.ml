@@ -1,0 +1,86 @@
+type corner = {
+  label : string;
+  a : Linalg.Mat.t;
+  mu : Linalg.Vec.t;
+  t_cons : float;
+}
+
+type t = {
+  indices : int array;
+  per_corner : (string * Select.t) list;
+  worst_eps_r : float;
+}
+
+(* Stack the corner matrices side by side with disjoint variable blocks
+   and normalize each block by its corner's constraint, so one Eqn-(7)
+   tolerance on the stack implies the tolerance at every corner. *)
+let stacked corners =
+  let n, _ = Linalg.Mat.dims (List.hd corners).a in
+  let total_m =
+    List.fold_left (fun acc c -> acc + snd (Linalg.Mat.dims c.a)) 0 corners
+  in
+  let stack = Linalg.Mat.create n total_m in
+  let offset = ref 0 in
+  List.iter
+    (fun c ->
+      let _, m = Linalg.Mat.dims c.a in
+      let scale = 1.0 /. c.t_cons in
+      for i = 0 to n - 1 do
+        for j = 0 to m - 1 do
+          Linalg.Mat.set stack i (!offset + j) (scale *. Linalg.Mat.get c.a i j)
+        done
+      done;
+      offset := !offset + m)
+    corners;
+  stack
+
+let select ?(config = Config.default) ~corners ~eps () =
+  Config.validate config;
+  if corners = [] then invalid_arg "Corners.select: no corners";
+  if eps <= 0.0 then invalid_arg "Corners.select: eps must be positive";
+  let n, _ = Linalg.Mat.dims (List.hd corners).a in
+  List.iter
+    (fun c ->
+      let n', _ = Linalg.Mat.dims c.a in
+      if n' <> n then invalid_arg "Corners.select: corner path counts differ";
+      if Array.length c.mu <> n then invalid_arg "Corners.select: mu length mismatch";
+      if c.t_cons <= 0.0 then invalid_arg "Corners.select: t_cons <= 0")
+    corners;
+  let stack = stacked corners in
+  (* the stack's rows are already in units of the constraint, so run
+     Algorithm 1 against t_cons = 1 *)
+  let mu_stack = Array.make n 0.0 in
+  let joint = Select.approximate ~config ~a:stack ~mu:mu_stack ~eps ~t_cons:1.0 () in
+  let indices = joint.Select.indices in
+  let per_corner =
+    List.map
+      (fun c ->
+        (c.label, Select.select_with_size ~config ~a:c.a ~mu:c.mu ~r:(Array.length indices) ()))
+      corners
+  in
+  (* rebuild each corner's predictor on the COMMON indices (not the
+     per-corner optimum) so the same instrumented paths serve all
+     corners *)
+  let per_corner =
+    List.map2
+      (fun c (label, _) ->
+        let predictor = Predictor.build ~a:c.a ~mu:c.mu ~rep:indices in
+        let kappa = config.Config.kappa in
+        let sel =
+          {
+            Select.indices;
+            predictor;
+            rank = joint.Select.rank;
+            effective_rank = joint.Select.effective_rank;
+            eps_r = Predictor.epsilon_r predictor ~kappa ~t_cons:c.t_cons;
+            per_path_eps = Predictor.per_path_epsilon predictor ~kappa ~t_cons:c.t_cons;
+            evaluations = joint.Select.evaluations;
+          }
+        in
+        (label, sel))
+      corners per_corner
+  in
+  let worst_eps_r =
+    List.fold_left (fun acc (_, s) -> Float.max acc s.Select.eps_r) 0.0 per_corner
+  in
+  { indices; per_corner; worst_eps_r }

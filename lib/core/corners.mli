@@ -1,0 +1,35 @@
+(** Multi-corner representative selection.
+
+    Production silicon is validated at several operating corners; a
+    path set that is representative at one corner need not be at
+    another. Stacking the per-corner linear models into one
+    block-structured system,
+
+    [d = [d_1; ...; d_k]],  [x = [x_1; ...; x_k]],
+    [A = diag-rows (A_1, ..., A_k)]  (same paths, disjoint variables),
+
+    and running Algorithm 1 on the stack selects one path set whose
+    measurements at EVERY corner predict all remaining paths at that
+    corner within the tolerance. Each selected path costs [k]
+    measurements (one per corner); the analytic error bound holds per
+    corner by construction. *)
+
+type corner = {
+  label : string;
+  a : Linalg.Mat.t;       (** n x m_c sensitivity matrix at this corner *)
+  mu : Linalg.Vec.t;      (** nominal path delays at this corner *)
+  t_cons : float;         (** the corner's timing constraint *)
+}
+
+type t = {
+  indices : int array;            (** the common representative paths *)
+  per_corner : (string * Select.t) list;
+  (** the per-corner selection objects rebuilt on the common index set
+      (their predictors are what a test floor uses at each corner) *)
+  worst_eps_r : float;            (** max analytic error over corners *)
+}
+
+val select :
+  ?config:Config.t -> corners:corner list -> eps:float -> unit -> t
+(** Raises [Invalid_argument] when corners is empty, path counts
+    disagree, or [eps <= 0]. *)

@@ -1,0 +1,64 @@
+type t = {
+  pool : Timing.Paths.t;
+  rep : int array;
+  mu_rep : Linalg.Vec.t;
+  estimator : Linalg.Mat.t;  (* m x r : A_r^T (A_r A_r^T)^+ *)
+  predictor : Predictor.t;
+}
+
+type attribution = { var : Timing.Variation.var_key; z_score : float }
+
+let build ~pool ~rep =
+  let a = Timing.Paths.a_mat pool in
+  let mu = Timing.Paths.mu_paths pool in
+  let a_r = Linalg.Mat.select_rows a rep in
+  let gram = Linalg.Mat.gram a_r in
+  (* estimator^T = (A_r A_r^T)^+ A_r, solved column-block-wise *)
+  let ginv_ar = Linalg.Pinv.solve_gram gram a_r in  (* r x m *)
+  {
+    pool;
+    rep = Array.copy rep;
+    mu_rep = Array.map (fun i -> mu.(i)) rep;
+    estimator = Linalg.Mat.transpose ginv_ar;
+    predictor = Predictor.build ~a ~mu ~rep;
+  }
+
+let estimate_x t ~measured =
+  if Array.length measured <> Array.length t.rep then
+    invalid_arg "Diagnose.estimate_x: measurement length mismatch";
+  Linalg.Mat.apply t.estimator (Linalg.Vec.sub measured t.mu_rep)
+
+let attribute ?(top = 10) t ~measured =
+  let x = estimate_x t ~measured in
+  let keys = Timing.Paths.var_keys t.pool in
+  let order = Array.init (Array.length x) (fun i -> i) in
+  Array.sort (fun i j -> compare (Float.abs x.(j)) (Float.abs x.(i))) order;
+  Array.to_list (Array.sub order 0 (min top (Array.length order)))
+  |> List.map (fun i -> { var = keys.(i); z_score = x.(i) })
+
+let die_to_die_shift t ~measured =
+  let x = estimate_x t ~measured in
+  let keys = Timing.Paths.var_keys t.pool in
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Timing.Variation.Region { level = 0; _ } ->
+        sum := !sum +. x.(i);
+        incr count
+      | Timing.Variation.Region _ | Timing.Variation.Gate_random _ -> ())
+    keys;
+  if !count = 0 then 0.0 else !sum /. float_of_int !count
+
+let predicted_failures t ~measured ~eps ~t_cons =
+  let predicted = Predictor.predict t.predictor ~measured in
+  let rem = Predictor.rem_indices t.predictor in
+  if Array.length eps <> Array.length rem then
+    invalid_arg "Diagnose.predicted_failures: eps length mismatch";
+  let out = ref [] in
+  for j = Array.length rem - 1 downto 0 do
+    let e = Float.min 0.99 eps.(j) in
+    if Guardband.flagged ~predicted:predicted.(j) ~eps:e ~t_cons then
+      out := rem.(j) :: !out
+  done;
+  !out

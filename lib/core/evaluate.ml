@@ -1,0 +1,40 @@
+type metrics = {
+  eps_max : float array;
+  eps_avg : float array;
+  e1 : float;
+  e2 : float;
+}
+
+let of_predictions ~truth ~predicted =
+  let n, k = Linalg.Mat.dims truth in
+  let n', k' = Linalg.Mat.dims predicted in
+  if n <> n' || k <> k' then invalid_arg "Evaluate.of_predictions: dimension mismatch";
+  if n = 0 || k = 0 then invalid_arg "Evaluate.of_predictions: empty input";
+  let eps_max = Array.make k 0.0 in
+  let eps_avg = Array.make k 0.0 in
+  for j = 0 to k - 1 do
+    let mx = ref 0.0 and sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      let t = Linalg.Mat.get truth i j in
+      let p = Linalg.Mat.get predicted i j in
+      let rel = Float.abs (p -. t) /. Float.max 1e-12 (Float.abs t) in
+      if rel > !mx then mx := rel;
+      sum := !sum +. rel
+    done;
+    eps_max.(j) <- !mx;
+    eps_avg.(j) <- !sum /. float_of_int n
+  done;
+  {
+    eps_max;
+    eps_avg;
+    e1 = Array.fold_left ( +. ) 0.0 eps_max /. float_of_int k;
+    e2 = Array.fold_left ( +. ) 0.0 eps_avg /. float_of_int k;
+  }
+
+let predictor_metrics p ~path_delays =
+  let rep = Predictor.rep_indices p in
+  let rem = Predictor.rem_indices p in
+  let measured = Linalg.Mat.select_cols path_delays rep in
+  let truth = Linalg.Mat.select_cols path_delays rem in
+  let predicted = Predictor.predict_all p ~measured in
+  of_predictions ~truth ~predicted

@@ -1,0 +1,25 @@
+(** Monte Carlo accuracy metrics (the paper's Section 6 metrics).
+
+    For remaining path [i] and die sample [k], the relative error is
+    [|d_pred(i,k) - d_true(i,k)| / d_true(i,k)]. Then
+
+    - [eps_max.(i)] is the max over samples (the paper's epsilon_i),
+    - [eps_avg.(i)] the mean over samples (epsilon-hat_i),
+    - [e1] and [e2] their averages over the remaining paths. *)
+
+type metrics = {
+  eps_max : float array;
+  eps_avg : float array;
+  e1 : float;
+  e2 : float;
+}
+
+val of_predictions : truth:Linalg.Mat.t -> predicted:Linalg.Mat.t -> metrics
+(** Both matrices are [n_samples x n_remaining]. Raises
+    [Invalid_argument] on dimension mismatch or empty input. *)
+
+val predictor_metrics :
+  Predictor.t -> path_delays:Linalg.Mat.t -> metrics
+(** Evaluate a Theorem-2 path predictor on MC die samples:
+    [path_delays] is [n_samples x n_paths] true delays (all paths, in
+    pool order); the representative columns are taken as measurements. *)

@@ -1,0 +1,49 @@
+type report = {
+  true_failures : int;
+  detected : int;
+  false_alarms : int;
+  missed : int;
+  total_checks : int;
+  detection_rate : float;
+  false_alarm_rate : float;
+}
+
+let flagged ~predicted ~eps ~t_cons = predicted /. (1.0 -. eps) > t_cons
+
+let analyze ~truth ~predicted ~eps ~t_cons =
+  let n, k = Linalg.Mat.dims truth in
+  let n', k' = Linalg.Mat.dims predicted in
+  if n <> n' || k <> k' then invalid_arg "Guardband.analyze: dimension mismatch";
+  if Array.length eps <> k then invalid_arg "Guardband.analyze: eps length mismatch";
+  Array.iter
+    (fun e ->
+      if e < 0.0 || e >= 1.0 then
+        invalid_arg "Guardband.analyze: eps_i outside [0, 1)")
+    eps;
+  let true_failures = ref 0 in
+  let detected = ref 0 in
+  let false_alarms = ref 0 in
+  let missed = ref 0 in
+  for j = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      let fails = Linalg.Mat.get truth i j > t_cons in
+      let flag = flagged ~predicted:(Linalg.Mat.get predicted i j) ~eps:eps.(j) ~t_cons in
+      if fails then begin
+        incr true_failures;
+        if flag then incr detected else incr missed
+      end
+      else if flag then incr false_alarms
+    done
+  done;
+  let total = n * k in
+  {
+    true_failures = !true_failures;
+    detected = !detected;
+    false_alarms = !false_alarms;
+    missed = !missed;
+    total_checks = total;
+    detection_rate =
+      (if !true_failures = 0 then 1.0
+       else float_of_int !detected /. float_of_int !true_failures);
+    false_alarm_rate = float_of_int !false_alarms /. float_of_int total;
+  }

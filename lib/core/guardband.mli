@@ -1,0 +1,31 @@
+(** Guard-band analysis for post-silicon failure detection (Section 6.3).
+
+    After predicting a path delay [d_pred] with a per-path guard-band
+    fraction [eps_i], the conservative test declares the path failing
+    when [d_pred / (1 - eps_i) > t_cons]. Because [eps_i] comes from
+    the analytic worst-case error, a true failure is (within the kappa
+    coverage) never missed; the cost is a bounded false-alarm rate on
+    paths within the guard band of the constraint. *)
+
+type report = {
+  true_failures : int;    (** (path, die) pairs with true delay > T *)
+  detected : int;         (** true failures flagged by the test *)
+  false_alarms : int;     (** flagged pairs whose true delay <= T *)
+  missed : int;           (** true failures not flagged *)
+  total_checks : int;     (** paths x dies evaluated *)
+  detection_rate : float; (** detected / true_failures (1.0 when none) *)
+  false_alarm_rate : float; (** false_alarms / total_checks *)
+}
+
+val analyze :
+  truth:Linalg.Mat.t ->
+  predicted:Linalg.Mat.t ->
+  eps:float array ->
+  t_cons:float ->
+  report
+(** [truth] and [predicted] are [n_samples x k]; [eps] has length [k]
+    (per-path guard-band fractions, each in [0, 1)). Raises
+    [Invalid_argument] on mismatched dimensions or [eps_i >= 1]. *)
+
+val flagged : predicted:float -> eps:float -> t_cons:float -> bool
+(** The single-path test. *)

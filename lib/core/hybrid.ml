@@ -1,0 +1,87 @@
+type t = {
+  path_indices : int array;
+  segment_indices : int array;
+  coeffs : Linalg.Mat.t;
+  per_path_wc : float array;
+  eps_prime : float;
+  r1 : int;
+  feasible : bool;
+}
+
+let default_grid = [ 0.3; 0.45; 0.6; 0.75 ]
+
+let run ?(config = Config.default) ?(eps_prime_grid = default_grid) ?solver_options
+    ~a ~g ~sigma ~mu ~eps ~t_cons () =
+  Config.validate config;
+  if eps <= 0.0 then invalid_arg "Hybrid.run: eps must be positive";
+  if t_cons <= 0.0 then invalid_arg "Hybrid.run: t_cons must be positive";
+  if eps_prime_grid = [] then invalid_arg "Hybrid.run: empty eps_prime grid";
+  let kappa = config.Config.kappa in
+  let n, _ = Linalg.Mat.dims g in
+  (* Step 1: exact representative paths P_r1 *)
+  let exact = Select.exact ~config ~a ~mu () in
+  let r1 = Array.length exact.Select.indices in
+  let g_r1 = Linalg.Mat.select_rows g exact.Select.indices in
+  (* Steps 2-4 for one eps': segment selection for P_r1, then full-pool
+     refit and detection of badly modelled paths. *)
+  let attempt eps_prime =
+    let bounds = Array.make r1 (eps_prime *. t_cons) in
+    let seg =
+      Convexopt.Group_select.select ?options:solver_options ~sigma ~g1:g_r1 ~bounds
+        ~kappa ()
+    in
+    let support = seg.Convexopt.Group_select.support in
+    let coeffs = Convexopt.Group_select.refit ~sigma ~g1:g ~support in
+    let wc = Convexopt.Group_select.row_errors ~sigma ~g1:g ~b:coeffs ~kappa in
+    let p_r2 = ref [] in
+    for i = n - 1 downto 0 do
+      if wc.(i) > eps *. t_cons then p_r2 := i :: !p_r2
+    done;
+    let path_indices = Array.of_list !p_r2 in
+    (* measured paths (P_r2) carry zero modelling error *)
+    let per_path_wc =
+      Array.map (fun w -> if w > eps *. t_cons then 0.0 else w /. t_cons) wc
+    in
+    {
+      path_indices;
+      segment_indices = support;
+      coeffs;
+      per_path_wc;
+      eps_prime;
+      r1;
+      feasible = seg.Convexopt.Group_select.feasible;
+    }
+  in
+  let candidates = List.map (fun f -> attempt (f *. eps)) eps_prime_grid in
+  let cost c = Array.length c.path_indices + Array.length c.segment_indices in
+  List.fold_left
+    (fun best c -> if cost c < cost best then c else best)
+    (List.hd candidates) (List.tl candidates)
+
+let total_measurements t =
+  Array.length t.path_indices + Array.length t.segment_indices
+
+let predict_all t ~mu ~mu_segments ~segment_delays ~path_delays =
+  let n_samples, n_s = Linalg.Mat.dims segment_delays in
+  let n = Array.length mu in
+  if Array.length mu_segments <> n_s then
+    invalid_arg "Hybrid.predict_all: mu_segments length mismatch";
+  let centered =
+    Linalg.Mat.init n_samples n_s (fun i j ->
+        Linalg.Mat.get segment_delays i j -. mu_segments.(j))
+  in
+  (* restrict to the selected segments: coeffs is zero elsewhere, but the
+     restriction keeps the cost proportional to |S_r| *)
+  let sel = t.segment_indices in
+  let centered_sel = Linalg.Mat.select_cols centered sel in
+  let coeffs_sel = Linalg.Mat.select_cols t.coeffs sel in  (* n x |S| *)
+  let pred = Linalg.Mat.mul_nt centered_sel coeffs_sel in  (* n_samples x n *)
+  let out = Linalg.Mat.init n_samples n (fun i j -> Linalg.Mat.get pred i j +. mu.(j)) in
+  (* overwrite measured paths with their true (measured) delays *)
+  Array.iter
+    (fun p ->
+      for i = 0 to n_samples - 1 do
+        Linalg.Mat.set out i p (Linalg.Mat.get path_delays i p)
+      done)
+    t.path_indices;
+  out

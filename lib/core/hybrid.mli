@@ -1,0 +1,59 @@
+(** Hybrid path/segment selection (the paper's Algorithm 3).
+
+    Step 1 selects an exact representative path set [P_r1]
+    ([r1 = rank A]). Step 2 selects segments [S_r1] able to model the
+    [P_r1] delays within a tolerance [eps' < eps] (the convex Eqn-(10)
+    program of {!Convexopt.Group_select}). Step 3 refits a model of
+    {e all} target paths from [S_r1] and flags the set [P_r2] of paths
+    whose worst-case modelling error exceeds [eps]. Step 4 outputs
+    [P_r = P_r2] (measured directly) and [S_r = S_r1]: every target
+    path is then known either exactly (measured) or within [eps].
+
+    [eps'] is scanned over a grid and the value minimizing
+    [|P_r| + |S_r|] wins, as in the paper's Section 6.2. *)
+
+type t = {
+  path_indices : int array;     (** P_r: directly measured paths *)
+  segment_indices : int array;  (** S_r: measured segments *)
+  coeffs : Linalg.Mat.t;        (** [n x n_S] path-from-segment model,
+                                    zero outside [segment_indices] *)
+  per_path_wc : float array;    (** worst-case modelling error fraction
+                                    per path (0 for measured paths) *)
+  eps_prime : float;            (** winning tolerance of Step 2 *)
+  r1 : int;                     (** |P_r1| of Step 1 *)
+  feasible : bool;              (** Step 2 satisfied its bounds *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?eps_prime_grid:float list ->
+  ?solver_options:Convexopt.Group_select.options ->
+  a:Linalg.Mat.t ->
+  g:Linalg.Mat.t ->
+  sigma:Linalg.Mat.t ->
+  mu:Linalg.Vec.t ->
+  eps:float ->
+  t_cons:float ->
+  unit ->
+  t
+(** [a = g * sigma] is the path transformation matrix, [g] the
+    [n x n_S] incidence, [sigma] the segment sensitivities, [mu] the
+    nominal path delays. [eps_prime_grid] lists the fractions of [eps]
+    to try for Step 2 (default [0.3; 0.45; 0.6; 0.75]). Raises
+    [Invalid_argument] on non-positive [eps] or [t_cons], or an empty
+    grid. *)
+
+val total_measurements : t -> int
+(** [|P_r| + |S_r|]: the paper's Table 2 headline column. *)
+
+val predict_all :
+  t ->
+  mu:Linalg.Vec.t ->
+  mu_segments:Linalg.Vec.t ->
+  segment_delays:Linalg.Mat.t ->
+  path_delays:Linalg.Mat.t ->
+  Linalg.Mat.t
+(** Batch post-silicon prediction: one row per die sample. Measured
+    paths are copied from [path_delays] (they are measured on the die);
+    all other paths are predicted from the measured segment delays.
+    Result is [n_samples x n_paths] in pool order. *)

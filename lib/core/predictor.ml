@@ -1,0 +1,86 @@
+type t = {
+  rep : int array;
+  rem : int array;
+  w : Linalg.Mat.t;          (* (n-r) x r prediction weights *)
+  mu_rep : Linalg.Vec.t;
+  mu_rem : Linalg.Vec.t;
+  omega : Linalg.Mat.t;      (* (n-r) x m error operator *)
+  sigmas : Linalg.Vec.t;
+}
+
+let complement n idx =
+  let mask = Array.make n false in
+  Array.iter (fun i -> mask.(i) <- true) idx;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if not mask.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let build ~a ~mu ~rep =
+  let n, _ = Linalg.Mat.dims a in
+  if Array.length rep = 0 then invalid_arg "Predictor.build: empty representative set";
+  if Array.length mu <> n then invalid_arg "Predictor.build: mu length mismatch";
+  Array.iteri
+    (fun k i ->
+      if i < 0 || i >= n then invalid_arg "Predictor.build: index out of range";
+      if k > 0 && rep.(k - 1) >= i then
+        invalid_arg "Predictor.build: rep indices must be sorted and distinct")
+    rep;
+  let rem = complement n rep in
+  let a_r = Linalg.Mat.select_rows a rep in
+  let a_m = Linalg.Mat.select_rows a rem in
+  (* W = A_m A_r^T (A_r A_r^T)^+ ; computed as the transpose of the Gram
+     solve (A_r A_r^T) W^T = A_r A_m^T, robust to a singular Gram. *)
+  let gram = Linalg.Mat.gram a_r in
+  let cross = Linalg.Mat.mul_nt a_r a_m in  (* r x (n-r) *)
+  let wt = Linalg.Pinv.solve_gram gram cross in
+  let w = Linalg.Mat.transpose wt in
+  let omega = Linalg.Mat.sub (Linalg.Mat.mul w a_r) a_m in
+  let sigmas = Linalg.Mat.row_norms2 omega in
+  {
+    rep = Array.copy rep;
+    rem;
+    w;
+    mu_rep = Array.map (fun i -> mu.(i)) rep;
+    mu_rem = Array.map (fun i -> mu.(i)) rem;
+    omega;
+    sigmas;
+  }
+
+let rep_indices t = Array.copy t.rep
+
+let rem_indices t = Array.copy t.rem
+
+let predict t ~measured =
+  if Array.length measured <> Array.length t.rep then
+    invalid_arg "Predictor.predict: measurement length mismatch";
+  let centered = Linalg.Vec.sub measured t.mu_rep in
+  Linalg.Vec.add t.mu_rem (Linalg.Mat.apply t.w centered)
+
+let predict_all t ~measured =
+  let n_samples, r = Linalg.Mat.dims measured in
+  if r <> Array.length t.rep then
+    invalid_arg "Predictor.predict_all: measurement width mismatch";
+  let centered =
+    Linalg.Mat.init n_samples r (fun i j -> Linalg.Mat.get measured i j -. t.mu_rep.(j))
+  in
+  let pred = Linalg.Mat.mul_nt centered t.w in  (* n_samples x (n-r) *)
+  Linalg.Mat.init n_samples (Array.length t.rem) (fun i j ->
+      Linalg.Mat.get pred i j +. t.mu_rem.(j))
+
+let error_operator t = t.omega
+
+let error_sigmas t = Array.copy t.sigmas
+
+let worst_case_error t ~kappa =
+  if Array.length t.sigmas = 0 then 0.0
+  else kappa *. Array.fold_left Float.max 0.0 t.sigmas
+
+let epsilon_r t ~kappa ~t_cons =
+  if t_cons <= 0.0 then invalid_arg "Predictor.epsilon_r: t_cons must be positive";
+  worst_case_error t ~kappa /. t_cons
+
+let per_path_epsilon t ~kappa ~t_cons =
+  if t_cons <= 0.0 then invalid_arg "Predictor.per_path_epsilon: t_cons must be positive";
+  Array.map (fun s -> kappa *. s /. t_cons) t.sigmas

@@ -1,0 +1,49 @@
+(** The optimal linear predictor of Theorem 2 and its analytic error.
+
+    With representative rows [A_r] and remaining rows [A_m], the MMSE
+    predictor of the remaining delays from the measured ones is
+
+    [d_Pm = mu_m + A_m A_r^T (A_r A_r^T)^+ (d_Pr - mu_r)],
+
+    and the prediction error is [Delta = Omega x] with
+    [Omega = A_m A_r^T (A_r A_r^T)^+ A_r - A_m], a zero-mean Gaussian
+    whose per-path standard deviation is the row norm of [Omega]. *)
+
+type t
+
+val build :
+  a:Linalg.Mat.t -> mu:Linalg.Vec.t -> rep:int array -> t
+(** [build ~a ~mu ~rep] splits rows of [a] into the representative set
+    [rep] (must be sorted, distinct, non-empty, in range) and the
+    remainder, and forms the predictor. *)
+
+val rep_indices : t -> int array
+
+val rem_indices : t -> int array
+(** Complement of [rep_indices], increasing. *)
+
+val predict : t -> measured:Linalg.Vec.t -> Linalg.Vec.t
+(** [predict t ~measured] maps the measured representative delays
+    (ordered as [rep_indices]) to predicted remaining delays (ordered
+    as [rem_indices]). *)
+
+val predict_all : t -> measured:Linalg.Mat.t -> Linalg.Mat.t
+(** Row-per-sample batch version: [measured] is
+    [n_samples x r]; result is [n_samples x (n - r)]. *)
+
+val error_operator : t -> Linalg.Mat.t
+(** The [Omega] matrix of Eqn (6): [(n - r) x m]. *)
+
+val error_sigmas : t -> Linalg.Vec.t
+(** Per-remaining-path standard deviation of the prediction error
+    (row norms of [Omega]). *)
+
+val worst_case_error : t -> kappa:float -> float
+(** [max_i kappa * sigma_i] — the numerator of the paper's Eqn (7). *)
+
+val epsilon_r : t -> kappa:float -> t_cons:float -> float
+(** Eqn (7): [worst_case_error / t_cons]. *)
+
+val per_path_epsilon : t -> kappa:float -> t_cons:float -> Linalg.Vec.t
+(** Per-path guard-band fractions [kappa * sigma_i / t_cons]
+    (Section 4.3's tighter per-path bound). *)

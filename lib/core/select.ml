@@ -1,0 +1,163 @@
+type schedule = Linear | Bisection
+
+type t = {
+  indices : int array;
+  predictor : Predictor.t;
+  rank : int;
+  effective_rank : int;
+  eps_r : float;
+  per_path_eps : Linalg.Vec.t;
+  evaluations : int;
+}
+
+let build_at ~svd ~a ~mu ~r =
+  let indices = Subset_select.rows_from_svd svd ~r in
+  let predictor = Predictor.build ~a ~mu ~rep:indices in
+  (indices, predictor)
+
+let finish ~config ~svd ~kappa ~t_cons ~evaluations (indices, predictor) =
+  let rank = Linalg.Svd.rank ?tol:config.Config.rank_tol svd in
+  {
+    indices;
+    predictor;
+    rank;
+    effective_rank = Effective_rank.of_singular_values ~eta:config.Config.eta svd.Linalg.Svd.s;
+    eps_r = Predictor.epsilon_r predictor ~kappa ~t_cons;
+    per_path_eps = Predictor.per_path_epsilon predictor ~kappa ~t_cons;
+    evaluations;
+  }
+
+let exact ?(config = Config.default) ~a ~mu () =
+  Config.validate config;
+  let svd = Linalg.Svd.factor a in
+  let rank = max 1 (Linalg.Svd.rank ?tol:config.Config.rank_tol svd) in
+  let sel = build_at ~svd ~a ~mu ~r:rank in
+  (* t_cons is irrelevant for the exact selection's bookkeeping; use the
+     largest path mean to keep epsilon_r well-defined *)
+  let t_cons = Float.max 1e-9 (Array.fold_left Float.max 0.0 mu) in
+  finish ~config ~svd ~kappa:config.Config.kappa ~t_cons ~evaluations:1 sel
+
+let approximate ?(config = Config.default) ?(schedule = Bisection) ~a ~mu ~eps ~t_cons () =
+  Config.validate config;
+  if eps <= 0.0 then invalid_arg "Select.approximate: eps must be positive";
+  if t_cons <= 0.0 then invalid_arg "Select.approximate: t_cons must be positive";
+  let kappa = config.Config.kappa in
+  let svd = Linalg.Svd.factor a in
+  let rank = max 1 (Linalg.Svd.rank ?tol:config.Config.rank_tol svd) in
+  let evaluations = ref 0 in
+  let eval r =
+    incr evaluations;
+    let sel = build_at ~svd ~a ~mu ~r in
+    let e = Predictor.epsilon_r (snd sel) ~kappa ~t_cons in
+    (sel, e)
+  in
+  let result =
+    match schedule with
+    | Linear ->
+      (* Paper's loop: start at rank (error 0) and decrement while the
+         tolerance holds; keep the last feasible selection. *)
+      let rec go r best =
+        if r < 1 then best
+        else begin
+          let sel, e = eval r in
+          if e <= eps then go (r - 1) (Some sel) else best
+        end
+      in
+      (match go rank None with
+       | Some sel -> sel
+       | None -> fst (eval rank))
+    | Bisection ->
+      (* invariant: feasible at hi, infeasible below lo (or lo = 0) *)
+      let rec go lo hi best =
+        (* smallest feasible r lies in (lo, hi]; best is feasible at hi *)
+        if hi - lo <= 1 then best
+        else begin
+          let mid = (lo + hi) / 2 in
+          let sel, e = eval mid in
+          if e <= eps then go lo mid sel else go mid hi best
+        end
+      in
+      let top, e_top = eval rank in
+      if e_top > eps then top
+      else begin
+        let one, e_one = eval 1 in
+        if e_one <= eps then one else go 1 rank top
+      end
+  in
+  finish ~config ~svd ~kappa ~t_cons ~evaluations:!evaluations result
+
+let approximate_nested ?(config = Config.default) ~a ~mu ~eps ~t_cons () =
+  Config.validate config;
+  if eps <= 0.0 then invalid_arg "Select.approximate_nested: eps must be positive";
+  if t_cons <= 0.0 then invalid_arg "Select.approximate_nested: t_cons must be positive";
+  let kappa = config.Config.kappa in
+  let svd = Linalg.Svd.factor a in
+  let rank = max 1 (Linalg.Svd.rank ?tol:config.Config.rank_tol svd) in
+  let order = Subset_select.nested_rows svd in
+  let evaluations = ref 0 in
+  let eval r =
+    incr evaluations;
+    let indices = Array.sub order 0 (min r (Array.length order)) in
+    Array.sort compare indices;
+    let predictor = Predictor.build ~a ~mu ~rep:indices in
+    ((indices, predictor), Predictor.epsilon_r predictor ~kappa ~t_cons)
+  in
+  let rec go lo hi best =
+    if hi - lo <= 1 then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      let sel, e = eval mid in
+      if e <= eps then go lo mid sel else go mid hi best
+    end
+  in
+  let top, e_top = eval rank in
+  let result =
+    if e_top > eps then top
+    else begin
+      let one, e_one = eval 1 in
+      if e_one <= eps then one else go 1 rank top
+    end
+  in
+  finish ~config ~svd ~kappa ~t_cons ~evaluations:!evaluations result
+
+let approximate_randomized ?(config = Config.default) ?(oversample = 8) ?(seed = 2024)
+    ~a ~mu ~eps ~t_cons ~sketch_rank () =
+  Config.validate config;
+  if eps <= 0.0 then invalid_arg "Select.approximate_randomized: eps must be positive";
+  if t_cons <= 0.0 then
+    invalid_arg "Select.approximate_randomized: t_cons must be positive";
+  let kappa = config.Config.kappa in
+  let svd = Linalg.Rsvd.to_svd (Linalg.Rsvd.factor ~oversample ~rank:sketch_rank ~seed a) in
+  let rank = max 1 (Array.length svd.Linalg.Svd.s) in
+  let evaluations = ref 0 in
+  let eval r =
+    incr evaluations;
+    let sel = build_at ~svd ~a ~mu ~r in
+    let e = Predictor.epsilon_r (snd sel) ~kappa ~t_cons in
+    (sel, e)
+  in
+  (* bisection, as in the exact path *)
+  let rec go lo hi best =
+    if hi - lo <= 1 then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      let sel, e = eval mid in
+      if e <= eps then go lo mid sel else go mid hi best
+    end
+  in
+  let top, e_top = eval rank in
+  let result =
+    if e_top > eps then top
+    else begin
+      let one, e_one = eval 1 in
+      if e_one <= eps then one else go 1 rank top
+    end
+  in
+  finish ~config ~svd ~kappa ~t_cons ~evaluations:!evaluations result
+
+let select_with_size ?(config = Config.default) ~a ~mu ~r () =
+  Config.validate config;
+  let svd = Linalg.Svd.factor a in
+  let sel = build_at ~svd ~a ~mu ~r in
+  let t_cons = Float.max 1e-9 (Array.fold_left Float.max 0.0 mu) in
+  finish ~config ~svd ~kappa:config.Config.kappa ~t_cons ~evaluations:1 sel

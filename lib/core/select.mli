@@ -1,0 +1,78 @@
+(** Representative path selection (the paper's Algorithm 1).
+
+    The SVD of [A] is computed once; each candidate size [r] re-slices
+    [U_r], runs the pivoted-QR subset selection (Algorithm 2), builds
+    the Theorem-2 predictor, and evaluates the analytic worst-case
+    error of Eqn (7) against the tolerance [eps]. *)
+
+type schedule =
+  | Linear
+  (** decrement [r] one at a time from [rank A], exactly as printed in
+      the paper — O(rank) predictor builds *)
+  | Bisection
+  (** binary search for the smallest feasible [r], exploiting the
+      (empirical) monotonicity of the error in [r] — O(log rank)
+      predictor builds; the E5 ablation shows both agree *)
+
+type t = {
+  indices : int array;          (** selected representative rows, sorted *)
+  predictor : Predictor.t;
+  rank : int;                   (** rank(A): the exact-selection size *)
+  effective_rank : int;         (** at the config's [eta] *)
+  eps_r : float;                (** achieved Eqn-(7) error at the final r *)
+  per_path_eps : Linalg.Vec.t;  (** per-remaining-path guard-band fractions *)
+  evaluations : int;            (** number of predictor builds performed *)
+}
+
+val exact :
+  ?config:Config.t -> a:Linalg.Mat.t -> mu:Linalg.Vec.t -> unit -> t
+(** Section 4.1: select [r = rank A] rows; the predictor is exact
+    (zero analytic error up to numerical noise). *)
+
+val approximate :
+  ?config:Config.t ->
+  ?schedule:schedule ->
+  a:Linalg.Mat.t ->
+  mu:Linalg.Vec.t ->
+  eps:float ->
+  t_cons:float ->
+  unit ->
+  t
+(** Algorithm 1. Raises [Invalid_argument] when [eps <= 0] or
+    [t_cons <= 0]. Default schedule is [Bisection]. *)
+
+val select_with_size :
+  ?config:Config.t -> a:Linalg.Mat.t -> mu:Linalg.Vec.t -> r:int -> unit -> t
+(** Fixed-size selection (no tolerance loop); used by ablations. *)
+
+val approximate_nested :
+  ?config:Config.t ->
+  a:Linalg.Mat.t ->
+  mu:Linalg.Vec.t ->
+  eps:float ->
+  t_cons:float ->
+  unit ->
+  t
+(** Algorithm 1 with the incremental (nested) subset selection of
+    {!Subset_select.nested_rows}: one pivoted QR for all candidate
+    sizes, prefixes as selections, bisection over the prefix length.
+    Slightly larger selections than per-r re-pivoting in exchange for
+    one factorization total (ablation E10). *)
+
+val approximate_randomized :
+  ?config:Config.t ->
+  ?oversample:int ->
+  ?seed:int ->
+  a:Linalg.Mat.t ->
+  mu:Linalg.Vec.t ->
+  eps:float ->
+  t_cons:float ->
+  sketch_rank:int ->
+  unit ->
+  t
+(** Algorithm 1 with the SVD replaced by a randomized truncated
+    factorization of rank [sketch_rank] ({!Linalg.Rsvd}) — the
+    production fast path for very large pools (ablation E8). The
+    analytic error of every candidate predictor is still exact (built
+    from the true [a]); only the subset-selection basis is
+    approximate. [rank] in the result is the sketch rank. *)

@@ -1,0 +1,56 @@
+(** E5/E6 — ablations on design choices called out in DESIGN.md.
+
+    E5: Algorithm 1's search schedule. The paper decrements r linearly;
+    we default to bisection. Both must land on (nearly) the same |P_r|;
+    bisection does logarithmically many predictor builds.
+
+    E6: the effective-rank energy threshold eta. Sweeping eta shows how
+    the a-priori dimension estimate tracks the a-posteriori selected
+    |P_r| at eps = 5%. *)
+
+type schedule_row = {
+  bench : string;
+  linear_r : int;
+  linear_evals : int;
+  linear_seconds : float;
+  bisect_r : int;
+  bisect_evals : int;
+  bisect_seconds : float;
+}
+
+type eta_row = {
+  eta_pct : float;
+  effective_rank : int;
+}
+
+val run_schedule : ?oc:out_channel -> Profile.t -> schedule_row list
+(** E5, on the three smallest benchmarks. *)
+
+val run_eta : ?oc:out_channel -> Profile.t -> eta_row list
+(** E6, on s1423: eta in {1, 2, 5, 10}%. *)
+
+type cluster_row = {
+  k : int;
+  selected : int;
+  cluster_eps_r_pct : float;
+  cluster_seconds : float;
+}
+
+val run_cluster : ?oc:out_channel -> Profile.t -> cluster_row list
+(** E7: Section-4.4 clustering speedup on s38417 — per-cluster
+    Algorithm 1 vs the direct global selection, over k. *)
+
+type nested_row = {
+  nested_bench : string;
+  repivot_r : int;
+  repivot_seconds : float;
+  nested_r : int;
+  nested_seconds : float;
+}
+
+val run_nested : ?oc:out_channel -> Profile.t -> nested_row list
+(** E10: Algorithm 2 re-run per candidate r (the paper's letter) vs one
+    nested pivot order shared by all r (the paper's "incremental"
+    remark). *)
+
+val run : ?oc:out_channel -> Profile.t -> unit

@@ -1,0 +1,42 @@
+(** E8/E9 — production-robustness experiments beyond the paper.
+
+    E8: Algorithm 1 driven by the exact SVD vs the randomized truncated
+    SVD ({!Linalg.Rsvd}): selection sizes, achieved analytic error, and
+    wall time on the largest benchmark.
+
+    E9: sensitivity of the flow to non-ideal silicon measurement
+    (quantization + jitter, {!Timing.Measurement}): MC errors and
+    guard-banded failure detection with the measurement-aware band. *)
+
+type rsvd_row = {
+  method_name : string;
+  selected : int;
+  eps_r_pct : float;
+  seconds : float;
+}
+
+type noise_row = {
+  label : string;
+  quantization_ps : float;
+  jitter_ps : float;
+  e1_pct : float;
+  e2_pct : float;
+  detection_rate : float;
+  false_alarm_rate : float;
+}
+
+val run_rsvd : ?oc:out_channel -> Profile.t -> rsvd_row list
+
+val run_noise : ?oc:out_channel -> Profile.t -> noise_row list
+
+type ssta_row = {
+  t_over_nominal : float;
+  ssta_yield : float;
+  mc_yield : float;
+}
+
+val run_ssta : ?oc:out_channel -> Profile.t -> ssta_row list
+(** E11: analytic yield curve of the SSTA substrate vs full Monte
+    Carlo. *)
+
+val run : ?oc:out_channel -> Profile.t -> unit

@@ -1,0 +1,73 @@
+type t = { values : Vec.t; vectors : Mat.t }
+
+let symmetric ?(tol = 1e-12) a0 =
+  let n, m = Mat.dims a0 in
+  if n <> m then invalid_arg "Eigen.symmetric: matrix not square";
+  let a = Mat.to_arrays a0 in
+  let v = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    v.(i).(i) <- 1.0
+  done;
+  let off_norm () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (2.0 *. a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    sqrt !acc
+  in
+  let fro = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      fro := !fro +. (a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  let threshold = tol *. Float.max 1e-300 (sqrt !fro) in
+  let sweeps = ref 0 in
+  while off_norm () > threshold && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if Float.abs a.(p).(q) > 1e-300 then begin
+          let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. a.(p).(q)) in
+          let t =
+            (if theta >= 0.0 then 1.0 else -1.0)
+            /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* rotate rows/columns p and q *)
+          for k = 0 to n - 1 do
+            let akp = a.(k).(p) in
+            let akq = a.(k).(q) in
+            a.(k).(p) <- (c *. akp) -. (s *. akq);
+            a.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = a.(p).(k) in
+            let aqk = a.(q).(k) in
+            a.(p).(k) <- (c *. apk) -. (s *. aqk);
+            a.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) in
+            let vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  let values = Array.init n (fun i -> a.(i).(i)) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare values.(j) values.(i)) order;
+  let sorted = Array.init n (fun i -> values.(order.(i))) in
+  let vectors = Mat.init n n (fun i j -> v.(i).(order.(j))) in
+  { values = sorted; vectors }
+
+let reconstruct { values; vectors } =
+  let n, _ = Mat.dims vectors in
+  let vd = Mat.init n n (fun i j -> Mat.get vectors i j *. values.(j)) in
+  Mat.mul_nt vd vectors

@@ -1,0 +1,16 @@
+(** Eigendecomposition of real symmetric matrices (cyclic Jacobi). *)
+
+type t = {
+  values : Vec.t;   (** eigenvalues, non-increasing *)
+  vectors : Mat.t;  (** column [j] is the eigenvector of [values.(j)] *)
+}
+
+val symmetric : ?tol:float -> Mat.t -> t
+(** [symmetric a] diagonalizes the symmetric matrix [a]. Raises
+    [Invalid_argument] when [a] is not square. Symmetry is assumed:
+    only the upper triangle is consulted for the rotations. [tol]
+    (default [1e-12]) is the off-diagonal convergence threshold
+    relative to the Frobenius norm. *)
+
+val reconstruct : t -> Mat.t
+(** [vectors * diag values * transpose vectors]. *)

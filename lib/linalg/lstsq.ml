@@ -1,0 +1,45 @@
+let solve_min_norm a b =
+  let f = Svd.factor a in
+  Mat.apply (Svd.pinv f) b
+
+let solve a b =
+  let m, n = Mat.dims a in
+  if m < n then solve_min_norm a b
+  else begin
+    let f = Qr.factor a in
+    match Qr.solve_lstsq f b with
+    | x -> x
+    | exception Failure _ -> solve_min_norm a b
+  end
+
+let solve_mat a b =
+  let _, n = Mat.dims a in
+  let _, cols = Mat.dims b in
+  let result = Mat.create n cols in
+  let m, _ = Mat.dims a in
+  if m >= n then begin
+    let f = Qr.factor a in
+    let solve_col j =
+      match Qr.solve_lstsq f (Mat.col b j) with
+      | x -> x
+      | exception Failure _ -> solve_min_norm a (Mat.col b j)
+    in
+    for j = 0 to cols - 1 do
+      let x = solve_col j in
+      for i = 0 to n - 1 do
+        Mat.set result i j x.(i)
+      done
+    done
+  end
+  else begin
+    let pinv = Svd.pinv (Svd.factor a) in
+    for j = 0 to cols - 1 do
+      let x = Mat.apply pinv (Mat.col b j) in
+      for i = 0 to n - 1 do
+        Mat.set result i j x.(i)
+      done
+    done
+  end;
+  result
+
+let residual_norm a x b = Vec.dist2 (Mat.apply a x) b

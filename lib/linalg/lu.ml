@@ -1,0 +1,85 @@
+type t = { lu : Mat.t; perm : int array; sign : int }
+
+exception Singular
+
+let factor a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Lu.factor: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    (* partial pivoting: largest magnitude in column k at or below row k *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      Mat.swap_rows lu k !piv;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- t;
+      sign := - !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if pivot <> 0.0 then
+      for i = k + 1 to n - 1 do
+        let factor = Mat.get lu i k /. pivot in
+        Mat.set lu i k factor;
+        if factor <> 0.0 then
+          for j = k + 1 to n - 1 do
+            Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+          done
+      done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve f b =
+  let n, _ = Mat.dims f.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* forward: L y = P b, L unit lower *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* backward: U x = y *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. x.(j))
+    done;
+    let d = Mat.get f.lu i i in
+    if d = 0.0 then raise Singular;
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let solve_mat f b =
+  let n, _ = Mat.dims f.lu in
+  let _, cols = Mat.dims b in
+  let result = Mat.create n cols in
+  for j = 0 to cols - 1 do
+    let x = solve f (Mat.col b j) in
+    for i = 0 to n - 1 do
+      Mat.set result i j x.(i)
+    done
+  done;
+  result
+
+let det f =
+  let n, _ = Mat.dims f.lu in
+  let acc = ref (float_of_int f.sign) in
+  for i = 0 to n - 1 do
+    acc := !acc *. Mat.get f.lu i i
+  done;
+  !acc
+
+let inverse a =
+  let n, _ = Mat.dims a in
+  solve_mat (factor a) (Mat.identity n)
+
+let solve_system a b = solve (factor a) b

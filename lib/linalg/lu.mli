@@ -1,0 +1,30 @@
+(** LU factorization with partial pivoting, and the solvers built on it. *)
+
+type t = {
+  lu : Mat.t;          (** packed L (unit lower) and U factors *)
+  perm : int array;    (** row permutation: factored row [i] is input row [perm.(i)] *)
+  sign : int;          (** permutation signature, [+1] or [-1] *)
+}
+
+exception Singular
+(** Raised by {!solve}, {!solve_mat} and {!inverse} when a pivot is exactly
+    zero (the matrix is singular to working precision). *)
+
+val factor : Mat.t -> t
+(** [factor a] factors the square matrix [a]. Raises [Invalid_argument] if
+    [a] is not square. The factorization itself never raises; singularity
+    surfaces when solving. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [a x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Column-wise {!solve}. *)
+
+val det : t -> float
+
+val inverse : Mat.t -> Mat.t
+(** Convenience: factor then solve against the identity. *)
+
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** Convenience: [solve_system a b] factors and solves in one call. *)

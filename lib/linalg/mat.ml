@@ -1,0 +1,325 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      m.data.(base + j) <- f i j
+    done
+  done;
+  m
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length a.(0) in
+    Array.iteri
+      (fun i r ->
+        if Array.length r <> cols then
+          invalid_arg (Printf.sprintf "Mat.of_arrays: row %d has length %d, expected %d"
+                         i (Array.length r) cols))
+      a;
+    init rows cols (fun i j -> a.(i).(j))
+  end
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let to_arrays m = Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> create 0 0
+  | first :: _ ->
+    let cols = Array.length first in
+    let rows = List.length rows_list in
+    let m = create rows cols in
+    List.iteri
+      (fun i r ->
+        if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows";
+        Array.blit r 0 m.data (i * cols) cols)
+      rows_list;
+    m
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag_of_vec v =
+  let n = Array.length v in
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i v.(i)
+  done;
+  m
+
+let diag m = Array.init (min m.rows m.cols) (fun i -> get m i i)
+
+let copy m = { m with data = Array.copy m.data }
+
+let dims m = (m.rows, m.cols)
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let set_row m i v =
+  if Array.length v <> m.cols then invalid_arg "Mat.set_row: dimension mismatch";
+  Array.blit v 0 m.data (i * m.cols) m.cols
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let map f m = { m with data = Array.map f m.data }
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: dimensions %dx%d and %dx%d differ"
+                   name a.rows a.cols b.rows b.cols)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let scale s m = { m with data = Array.map (fun v -> s *. v) m.data }
+
+(* ikj loop order: the inner loop streams over contiguous rows of [b] and
+   [c], which is what makes large products affordable in pure OCaml. *)
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg (Printf.sprintf "Mat.mul: %dx%d times %dx%d" a.rows a.cols b.rows b.cols);
+  let c = create a.rows b.cols in
+  let n = b.cols in
+  for i = 0 to a.rows - 1 do
+    let abase = i * a.cols in
+    let cbase = i * n in
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.(abase + k) in
+      if aik <> 0.0 then begin
+        let bbase = k * n in
+        for j = 0 to n - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  c
+
+let mul_nt a b =
+  if a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.mul_nt: %dx%d times (%dx%d)^T"
+                   a.rows a.cols b.rows b.cols);
+  let c = create a.rows b.rows in
+  for i = 0 to a.rows - 1 do
+    let abase = i * a.cols in
+    let cbase = i * b.rows in
+    for j = 0 to b.rows - 1 do
+      let bbase = j * b.cols in
+      let acc = ref 0.0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(abase + k) *. b.data.(bbase + k))
+      done;
+      c.data.(cbase + j) <- !acc
+    done
+  done;
+  c
+
+let mul_tn a b =
+  if a.rows <> b.rows then
+    invalid_arg (Printf.sprintf "Mat.mul_tn: (%dx%d)^T times %dx%d"
+                   a.rows a.cols b.rows b.cols);
+  let c = create a.cols b.cols in
+  for k = 0 to a.rows - 1 do
+    let abase = k * a.cols in
+    let bbase = k * b.cols in
+    for i = 0 to a.cols - 1 do
+      let aki = a.data.(abase + i) in
+      if aki <> 0.0 then begin
+        let cbase = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aki *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  c
+
+let gram a =
+  let c = create a.rows a.rows in
+  for i = 0 to a.rows - 1 do
+    let ibase = i * a.cols in
+    for j = i to a.rows - 1 do
+      let jbase = j * a.cols in
+      let acc = ref 0.0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(ibase + k) *. a.data.(jbase + k))
+      done;
+      c.data.((i * a.rows) + j) <- !acc;
+      c.data.((j * a.rows) + i) <- !acc
+    done
+  done;
+  c
+
+let apply m x =
+  if Array.length x <> m.cols then
+    invalid_arg (Printf.sprintf "Mat.apply: %dx%d times vector of dim %d"
+                   m.rows m.cols (Array.length x));
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. x.(j))
+      done;
+      !acc)
+
+let apply_t m x =
+  if Array.length x <> m.rows then
+    invalid_arg (Printf.sprintf "Mat.apply_t: (%dx%d)^T times vector of dim %d"
+                   m.rows m.cols (Array.length x));
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. m.data.(base + j))
+      done
+  done;
+  y
+
+let select_rows m idx =
+  let r = create (Array.length idx) m.cols in
+  Array.iteri
+    (fun k i ->
+      if i < 0 || i >= m.rows then invalid_arg "Mat.select_rows: index out of range";
+      Array.blit m.data (i * m.cols) r.data (k * m.cols) m.cols)
+    idx;
+  r
+
+let drop_rows m idx =
+  let dropped = Array.make m.rows false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= m.rows then invalid_arg "Mat.drop_rows: index out of range";
+      dropped.(i) <- true)
+    idx;
+  let keep = ref [] in
+  for i = m.rows - 1 downto 0 do
+    if not dropped.(i) then keep := i :: !keep
+  done;
+  select_rows m (Array.of_list !keep)
+
+let select_cols m idx =
+  init m.rows (Array.length idx) (fun i k ->
+      let j = idx.(k) in
+      if j < 0 || j >= m.cols then invalid_arg "Mat.select_cols: index out of range";
+      get m i j)
+
+let sub_left_cols m k =
+  if k < 0 || k > m.cols then invalid_arg "Mat.sub_left_cols: bad column count";
+  let r = create m.rows k in
+  for i = 0 to m.rows - 1 do
+    Array.blit m.data (i * m.cols) r.data (i * k) k
+  done;
+  r
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hcat: row counts differ";
+  let c = create a.rows (a.cols + b.cols) in
+  for i = 0 to a.rows - 1 do
+    Array.blit a.data (i * a.cols) c.data (i * c.cols) a.cols;
+    Array.blit b.data (i * b.cols) c.data ((i * c.cols) + a.cols) b.cols
+  done;
+  c
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vcat: column counts differ";
+  let c = create (a.rows + b.rows) a.cols in
+  Array.blit a.data 0 c.data 0 (Array.length a.data);
+  Array.blit b.data 0 c.data (Array.length a.data) (Array.length b.data);
+  c
+
+let row_norms2 m =
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        let v = m.data.(base + j) in
+        acc := !acc +. (v *. v)
+      done;
+      sqrt !acc)
+
+let frobenius m =
+  let acc = ref 0.0 in
+  for k = 0 to Array.length m.data - 1 do
+    let v = m.data.(k) in
+    acc := !acc +. (v *. v)
+  done;
+  sqrt !acc
+
+let norm_inf m =
+  let acc = ref 0.0 in
+  for k = 0 to Array.length m.data - 1 do
+    let a = Float.abs m.data.(k) in
+    if a > !acc then acc := a
+  done;
+  !acc
+
+let equal ?(tol = 1e-12) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+    let ok = ref true in
+    for k = 0 to Array.length a.data - 1 do
+      if Float.abs (a.data.(k) -. b.data.(k)) > tol then ok := false
+    done;
+    !ok
+  end
+
+let is_symmetric ?(tol = 1e-12) m =
+  m.rows = m.cols
+  && begin
+    let ok = ref true in
+    for i = 0 to m.rows - 1 do
+      for j = i + 1 to m.cols - 1 do
+        if Float.abs (get m i j -. get m j i) > tol then ok := false
+      done
+    done;
+    !ok
+  end
+
+let swap_rows m i j =
+  if i <> j then
+    for k = 0 to m.cols - 1 do
+      let t = get m i k in
+      set m i k (get m j k);
+      set m j k t
+    done
+
+let swap_cols m i j =
+  if i <> j then
+    for k = 0 to m.rows - 1 do
+      let t = get m k i in
+      set m k i (get m k j);
+      set m k j t
+    done
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%10.4g" (get m i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

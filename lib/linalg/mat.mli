@@ -1,0 +1,108 @@
+(** Dense row-major matrices of floats.
+
+    The storage is a single flat [float array] of length [rows * cols];
+    element [(i, j)] lives at index [i * cols + j]. All dimensions are
+    checked; mismatches raise [Invalid_argument]. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+val create : int -> int -> t
+(** [create m n] is the [m]x[n] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val of_arrays : float array array -> t
+(** Rows must all have the same length; an empty outer array is the 0x0
+    matrix. *)
+
+val to_arrays : t -> float array array
+
+val of_rows : Vec.t list -> t
+
+val identity : int -> t
+
+val diag_of_vec : Vec.t -> t
+
+val diag : t -> Vec.t
+(** Main diagonal, of length [min rows cols]. *)
+
+val copy : t -> t
+
+val dims : t -> int * int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+(** Fresh copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+
+val set_row : t -> int -> Vec.t -> unit
+
+val transpose : t -> t
+
+val map : (float -> float) -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product; cache-friendly (ikj order). *)
+
+val mul_nt : t -> t -> t
+(** [mul_nt a b] is [a * transpose b] without materializing the transpose. *)
+
+val mul_tn : t -> t -> t
+(** [mul_tn a b] is [transpose a * b]. *)
+
+val gram : t -> t
+(** [gram a] is [a * transpose a] (symmetric, computed in half the flops). *)
+
+val apply : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val apply_t : t -> Vec.t -> Vec.t
+(** [apply_t a x] is [transpose a * x]. *)
+
+val select_rows : t -> int array -> t
+(** [select_rows a idx] stacks rows [idx.(0); idx.(1); ...] of [a]. *)
+
+val drop_rows : t -> int array -> t
+(** Complement of {!select_rows}: all rows whose index is not in [idx],
+    in increasing order. *)
+
+val select_cols : t -> int array -> t
+
+val sub_left_cols : t -> int -> t
+(** [sub_left_cols a k] is the [rows]x[k] block of the first [k] columns. *)
+
+val hcat : t -> t -> t
+
+val vcat : t -> t -> t
+
+val row_norms2 : t -> Vec.t
+(** Euclidean norm of every row. *)
+
+val frobenius : t -> float
+
+val norm_inf : t -> float
+(** Max absolute entry. *)
+
+val equal : ?tol:float -> t -> t -> bool
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val swap_rows : t -> int -> int -> unit
+
+val swap_cols : t -> int -> int -> unit
+
+val pp : Format.formatter -> t -> unit

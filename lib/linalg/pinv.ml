@@ -1,0 +1,16 @@
+let compute ?tol a = Svd.pinv ?tol (Svd.factor a)
+
+let solve_gram g b =
+  match Cholesky.factor g with
+  | l ->
+    let n, _ = Mat.dims g in
+    let _, cols = Mat.dims b in
+    let result = Mat.create n cols in
+    for j = 0 to cols - 1 do
+      let x = Cholesky.solve l (Mat.col b j) in
+      for i = 0 to n - 1 do
+        Mat.set result i j x.(i)
+      done
+    done;
+    result
+  | exception Cholesky.Not_positive_definite -> Mat.mul (compute g) b

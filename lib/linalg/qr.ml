@@ -1,0 +1,207 @@
+(* Householder QR with the reflectors stored below the diagonal of [qr]
+   (the leading 1 of each reflector is implicit) and the scalar factors
+   in [tau]: H_k = I - tau_k v_k v_k^T. *)
+type t = {
+  qr : Mat.t;
+  tau : float array;
+  jpvt : int array;  (* pivoted position -> original column *)
+  m : int;
+  n : int;
+}
+
+let house_column a m k col =
+  (* Build the reflector annihilating column [col] below row [k]; returns
+     tau and writes v (normalized, v.(k)=1 implicit) into rows k+1.. of
+     the column, with the resulting R entry at (k, col). *)
+  let alpha = Mat.get a k col in
+  let xnorm2 = ref 0.0 in
+  for i = k + 1 to m - 1 do
+    let v = Mat.get a i col in
+    xnorm2 := !xnorm2 +. (v *. v)
+  done;
+  if !xnorm2 = 0.0 then 0.0
+  else begin
+    let norm = sqrt ((alpha *. alpha) +. !xnorm2) in
+    let beta = if alpha >= 0.0 then -.norm else norm in
+    let tau = (beta -. alpha) /. beta in
+    let scale = 1.0 /. (alpha -. beta) in
+    for i = k + 1 to m - 1 do
+      Mat.set a i col (Mat.get a i col *. scale)
+    done;
+    Mat.set a k col beta;
+    tau
+  end
+
+let apply_reflector a m n k tau jstart =
+  (* Apply H_k = I - tau v v^T (v stored in column k below the diagonal)
+     to columns [jstart..n-1] of [a]. *)
+  if tau <> 0.0 then
+    for j = jstart to n - 1 do
+      let s = ref (Mat.get a k j) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (Mat.get a i k *. Mat.get a i j)
+      done;
+      let s = tau *. !s in
+      Mat.set a k j (Mat.get a k j -. s);
+      for i = k + 1 to m - 1 do
+        Mat.set a i j (Mat.get a i j -. (s *. Mat.get a i k))
+      done
+    done
+
+let factor_generic ~pivot a0 =
+  let m, n = Mat.dims a0 in
+  let a = Mat.copy a0 in
+  let kmax = min m n in
+  let tau = Array.make kmax 0.0 in
+  let jpvt = Array.init n (fun j -> j) in
+  (* running squared residual norms of each column, for pivoting *)
+  let cnorm = Array.make n 0.0 in
+  if pivot then
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to m - 1 do
+        let v = Mat.get a i j in
+        acc := !acc +. (v *. v)
+      done;
+      cnorm.(j) <- !acc
+    done;
+  for k = 0 to kmax - 1 do
+    if pivot then begin
+      let best = ref k in
+      for j = k + 1 to n - 1 do
+        if cnorm.(j) > cnorm.(!best) then best := j
+      done;
+      (* Guard against stale downdated norms: recompute the winner. *)
+      let recompute j =
+        let acc = ref 0.0 in
+        for i = k to m - 1 do
+          let v = Mat.get a i j in
+          acc := !acc +. (v *. v)
+        done;
+        !acc
+      in
+      let exact = recompute !best in
+      if exact < 0.5 *. cnorm.(!best) then begin
+        (* norms drifted; refresh all remaining and re-select *)
+        for j = k to n - 1 do
+          cnorm.(j) <- recompute j
+        done;
+        best := k;
+        for j = k + 1 to n - 1 do
+          if cnorm.(j) > cnorm.(!best) then best := j
+        done
+      end
+      else cnorm.(!best) <- exact;
+      if !best <> k then begin
+        Mat.swap_cols a k !best;
+        let t = cnorm.(k) in
+        cnorm.(k) <- cnorm.(!best);
+        cnorm.(!best) <- t;
+        let t = jpvt.(k) in
+        jpvt.(k) <- jpvt.(!best);
+        jpvt.(!best) <- t
+      end
+    end;
+    let t = house_column a m k k in
+    tau.(k) <- t;
+    apply_reflector a m n k t (k + 1);
+    if pivot then
+      (* downdate the residual norms of the remaining columns *)
+      for j = k + 1 to n - 1 do
+        let v = Mat.get a k j in
+        cnorm.(j) <- Float.max 0.0 (cnorm.(j) -. (v *. v))
+      done
+  done;
+  { qr = a; tau; jpvt; m; n }
+
+let factor a = factor_generic ~pivot:false a
+
+let factor_pivoted a = factor_generic ~pivot:true a
+
+let r f =
+  let k = min f.m f.n in
+  Mat.init k f.n (fun i j -> if j >= i then Mat.get f.qr i j else 0.0)
+
+let perm f = Array.copy f.jpvt
+
+let q f =
+  let k = min f.m f.n in
+  (* Accumulate the thin Q by applying the reflectors to I backwards. *)
+  let qm = Mat.create f.m k in
+  for j = 0 to k - 1 do
+    Mat.set qm j j 1.0
+  done;
+  for kk = k - 1 downto 0 do
+    let tau = f.tau.(kk) in
+    if tau <> 0.0 then
+      for j = 0 to k - 1 do
+        let s = ref (Mat.get qm kk j) in
+        for i = kk + 1 to f.m - 1 do
+          s := !s +. (Mat.get f.qr i kk *. Mat.get qm i j)
+        done;
+        let s = tau *. !s in
+        Mat.set qm kk j (Mat.get qm kk j -. s);
+        for i = kk + 1 to f.m - 1 do
+          Mat.set qm i j (Mat.get qm i j -. (s *. Mat.get f.qr i kk))
+        done
+      done
+  done;
+  qm
+
+let rank ?tol f =
+  let k = min f.m f.n in
+  if k = 0 then 0
+  else begin
+    let r00 = Float.abs (Mat.get f.qr 0 0) in
+    let tol =
+      match tol with
+      | Some t -> t
+      | None -> float_of_int (max f.m f.n) *. epsilon_float *. r00
+    in
+    let rec count i =
+      if i >= k then i
+      else if Float.abs (Mat.get f.qr i i) <= tol then i
+      else count (i + 1)
+    in
+    count 0
+  end
+
+let apply_qt f b =
+  if Array.length b <> f.m then invalid_arg "Qr.apply_qt: dimension mismatch";
+  let y = Array.copy b in
+  let k = min f.m f.n in
+  for kk = 0 to k - 1 do
+    let tau = f.tau.(kk) in
+    if tau <> 0.0 then begin
+      let s = ref y.(kk) in
+      for i = kk + 1 to f.m - 1 do
+        s := !s +. (Mat.get f.qr i kk *. y.(i))
+      done;
+      let s = tau *. !s in
+      y.(kk) <- y.(kk) -. s;
+      for i = kk + 1 to f.m - 1 do
+        y.(i) <- y.(i) -. (s *. Mat.get f.qr i kk)
+      done
+    end
+  done;
+  y
+
+let solve_lstsq f b =
+  if f.m < f.n then invalid_arg "Qr.solve_lstsq: underdetermined system";
+  let y = apply_qt f b in
+  let x = Array.make f.n 0.0 in
+  for i = f.n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to f.n - 1 do
+      acc := !acc -. (Mat.get f.qr i j *. x.(j))
+    done;
+    let d = Mat.get f.qr i i in
+    if d = 0.0 then failwith "Qr.solve_lstsq: rank-deficient matrix";
+    x.(i) <- !acc /. d
+  done;
+  (* undo the column permutation *)
+  let xp = Array.make f.n 0.0 in
+  for j = 0 to f.n - 1 do
+    xp.(f.jpvt.(j)) <- x.(j)
+  done;
+  xp

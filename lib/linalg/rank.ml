@@ -1,0 +1,3 @@
+let of_mat ?tol a = Svd.rank ?tol (Svd.factor a)
+
+let of_mat_qr ?tol a = Qr.rank ?tol (Qr.factor_pivoted a)

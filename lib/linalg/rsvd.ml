@@ -1,0 +1,72 @@
+type t = { u : Mat.t; s : Vec.t; v : Mat.t }
+
+(* Gram-Schmidt orthonormalization of the columns (twice, for numerical
+   safety); returns a matrix with orthonormal columns spanning the same
+   range. *)
+let orthonormalize m =
+  let rows, cols = Mat.dims m in
+  let q = Mat.copy m in
+  let kept = ref [] in
+  for j = 0 to cols - 1 do
+    let col = Mat.col q j in
+    let col = ref col in
+    for _pass = 1 to 2 do
+      List.iter
+        (fun jk ->
+          let qk = Mat.col q jk in
+          let proj = Vec.dot qk !col in
+          col := Array.mapi (fun i v -> v -. (proj *. qk.(i))) !col)
+        (List.rev !kept)
+    done;
+    let nrm = Vec.norm2 !col in
+    if nrm > 1e-12 then begin
+      let unit = Vec.scale (1.0 /. nrm) !col in
+      for i = 0 to rows - 1 do
+        Mat.set q i j unit.(i)
+      done;
+      kept := j :: !kept
+    end
+  done;
+  let cols_kept = Array.of_list (List.rev !kept) in
+  Mat.select_cols q cols_kept
+
+let factor ?(oversample = 8) ?(power_iters = 2) ~rank ~seed a =
+  let m, n = Mat.dims a in
+  let k = max 1 (min rank (min m n)) in
+  let sketch_cols = min (min m n) (k + oversample) in
+  (* deterministic Gaussian sketch from a splitmix-style hash *)
+  let state = ref (Int64.of_int (seed lxor 0x2545F491)) in
+  let next_unit () =
+    let z = Int64.add !state 0x9E3779B97F4A7C15L in
+    state := z;
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    (Int64.to_float (Int64.shift_right_logical z 11) *. 0x1.0p-53 *. 2.0) -. 1.0
+  in
+  let gaussian () =
+    (* sum of 6 uniforms: close enough to Gaussian for a sketch *)
+    let acc = ref 0.0 in
+    for _ = 1 to 6 do
+      acc := !acc +. next_unit ()
+    done;
+    !acc /. sqrt 2.0
+  in
+  let omega = Mat.init n sketch_cols (fun _ _ -> gaussian ()) in
+  (* range finder with power iterations: Y = (A A^T)^q A Omega *)
+  let y = ref (Mat.mul a omega) in
+  for _ = 1 to power_iters do
+    let q = orthonormalize !y in
+    let z = Mat.mul_tn a q in          (* n x c *)
+    let qz = orthonormalize z in
+    y := Mat.mul a qz
+  done;
+  let q = orthonormalize !y in         (* m x c *)
+  (* small problem: B = Q^T A (c x n) *)
+  let b = Mat.mul_tn q a in
+  let small = Svd.factor b in
+  let keep = min k (Array.length small.Svd.s) in
+  let u_small = Mat.sub_left_cols small.Svd.u keep in
+  let u = Mat.mul q u_small in
+  { u; s = Array.sub small.Svd.s 0 keep; v = Mat.sub_left_cols small.Svd.v keep }
+
+let to_svd { u; s; v } = { Svd.u; s; v }

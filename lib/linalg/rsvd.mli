@@ -1,0 +1,25 @@
+(** Randomized truncated SVD (Halko–Martinsson–Tropp).
+
+    A Gaussian range sketch with power iterations captures the leading
+    [k]-dimensional subspace; the deterministic SVD of the projected
+    [k + oversample]-column problem yields leading singular values and
+    vectors far faster than the full Golub–Reinsch factorization when
+    [k << min m n]. The paper's Algorithm 1 only needs the leading
+    [U_r], so this is a drop-in production accelerator for very large
+    path pools (ablation E8 measures the quality gap). *)
+
+type t = {
+  u : Mat.t;   (** m x k *)
+  s : Vec.t;   (** leading singular values, non-increasing *)
+  v : Mat.t;   (** n x k *)
+}
+
+val factor :
+  ?oversample:int -> ?power_iters:int -> rank:int -> seed:int -> Mat.t -> t
+(** [factor ~rank ~seed a] approximates the leading [rank] singular
+    triplets. Defaults: [oversample = 8], [power_iters = 2]. [rank] is
+    clamped to [min m n]. Deterministic in [seed]. *)
+
+val to_svd : t -> Svd.t
+(** Repackage as a (truncated) {!Svd.t} so downstream code (subset
+    selection, effective rank) can consume it unchanged. *)

@@ -1,0 +1,158 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let dims a = (a.rows, a.cols)
+
+let nnz a = a.row_ptr.(a.rows)
+
+let density a =
+  if a.rows = 0 || a.cols = 0 then 0.0
+  else float_of_int (nnz a) /. float_of_int (a.rows * a.cols)
+
+let of_rows cols rows =
+  let n = Array.length rows in
+  (* merge duplicates and sort each row *)
+  let cleaned =
+    Array.map
+      (fun entries ->
+        let tbl = Hashtbl.create (List.length entries) in
+        List.iter
+          (fun (j, v) ->
+            if j < 0 || j >= cols then invalid_arg "Sparse.of_rows: column out of range";
+            Hashtbl.replace tbl j (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl j)))
+          entries;
+        let l = Hashtbl.fold (fun j v acc -> (j, v) :: acc) tbl [] in
+        List.sort (fun (j1, _) (j2, _) -> compare j1 j2) l)
+      rows
+  in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 cleaned in
+  let row_ptr = Array.make (n + 1) 0 in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i l ->
+      row_ptr.(i) <- !k;
+      List.iter
+        (fun (j, v) ->
+          col_idx.(!k) <- j;
+          values.(!k) <- v;
+          incr k)
+        l)
+    cleaned;
+  row_ptr.(n) <- !k;
+  { rows = n; cols; row_ptr; col_idx; values }
+
+let of_dense ?(tol = 0.0) m =
+  let rows, cols = Mat.dims m in
+  let lists =
+    Array.init rows (fun i ->
+        let acc = ref [] in
+        for j = cols - 1 downto 0 do
+          let v = Mat.get m i j in
+          if Float.abs v > tol then acc := (j, v) :: !acc
+        done;
+        !acc)
+  in
+  of_rows cols lists
+
+let to_dense a =
+  let m = Mat.create a.rows a.cols in
+  for i = 0 to a.rows - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      Mat.set m i a.col_idx.(k) a.values.(k)
+    done
+  done;
+  m
+
+let get a i j =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg "Sparse.get: index out of range";
+  let lo = ref a.row_ptr.(i) and hi = ref (a.row_ptr.(i + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.col_idx.(mid) = j then begin
+      result := a.values.(mid);
+      lo := !hi + 1
+    end
+    else if a.col_idx.(mid) < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let apply a x =
+  if Array.length x <> a.cols then invalid_arg "Sparse.apply: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (a.values.(k) *. x.(a.col_idx.(k)))
+      done;
+      !acc)
+
+let apply_t a x =
+  if Array.length x <> a.rows then invalid_arg "Sparse.apply_t: dimension mismatch";
+  let y = Array.make a.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        y.(a.col_idx.(k)) <- y.(a.col_idx.(k)) +. (xi *. a.values.(k))
+      done
+  done;
+  y
+
+let mul_dense_nt x a =
+  let n, m = Mat.dims x in
+  if m <> a.cols then invalid_arg "Sparse.mul_dense_nt: dimension mismatch";
+  let out = Mat.create n a.rows in
+  for i = 0 to n - 1 do
+    let xbase = i * m in
+    let obase = i * a.rows in
+    for r = 0 to a.rows - 1 do
+      let acc = ref 0.0 in
+      for k = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+        acc := !acc +. (a.values.(k) *. x.Mat.data.(xbase + a.col_idx.(k)))
+      done;
+      out.Mat.data.(obase + r) <- !acc
+    done
+  done;
+  out
+
+let row_norms2 a =
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        let v = a.values.(k) in
+        acc := !acc +. (v *. v)
+      done;
+      sqrt !acc)
+
+let scale s a = { a with values = Array.map (fun v -> s *. v) a.values }
+
+let transpose a =
+  let lists = Array.make a.cols [] in
+  for i = a.rows - 1 downto 0 do
+    for k = a.row_ptr.(i + 1) - 1 downto a.row_ptr.(i) do
+      lists.(a.col_idx.(k)) <- (i, a.values.(k)) :: lists.(a.col_idx.(k))
+    done
+  done;
+  of_rows a.rows lists
+
+let equal_dense ?(tol = 1e-12) a m =
+  let rows, cols = Mat.dims m in
+  if rows <> a.rows || cols <> a.cols then false
+  else begin
+    let ok = ref true in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        if Float.abs (get a i j -. Mat.get m i j) > tol then ok := false
+      done
+    done;
+    !ok
+  end

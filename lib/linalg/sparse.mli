@@ -1,0 +1,54 @@
+(** Sparse matrices in compressed sparse row (CSR) form.
+
+    The path sensitivity matrices of this library are naturally sparse
+    (a handful of non-zeros per gate), so the Monte Carlo and selection
+    front-ends can hold [A] and [Sigma] in CSR and only densify for the
+    factorizations that need it. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;   (** length [rows + 1] *)
+  col_idx : int array;   (** length [nnz], sorted within each row *)
+  values : float array;  (** length [nnz] *)
+}
+
+val of_dense : ?tol:float -> Mat.t -> t
+(** Entries with magnitude <= [tol] (default 0) are dropped. *)
+
+val to_dense : t -> Mat.t
+
+val of_rows : int -> (int * float) list array -> t
+(** [of_rows cols rows] builds from per-row (column, value) lists;
+    duplicate columns within a row are summed. Raises
+    [Invalid_argument] on out-of-range columns. *)
+
+val dims : t -> int * int
+
+val nnz : t -> int
+
+val density : t -> float
+(** [nnz / (rows * cols)]; 0 for an empty matrix. *)
+
+val get : t -> int -> int -> float
+(** O(log nnz-in-row). *)
+
+val apply : t -> Vec.t -> Vec.t
+(** Sparse matrix x dense vector. *)
+
+val apply_t : t -> Vec.t -> Vec.t
+(** Transpose apply. *)
+
+val mul_dense_nt : Mat.t -> t -> Mat.t
+(** [mul_dense_nt x a] is [x * transpose a] with [x] dense [n x m] and
+    [a] sparse [k x m]; the result is dense [n x k]. This is the Monte
+    Carlo kernel [X A^T]. *)
+
+val row_norms2 : t -> Vec.t
+
+val scale : float -> t -> t
+
+val transpose : t -> t
+
+val equal_dense : ?tol:float -> t -> Mat.t -> bool
+(** Structural comparison against a dense matrix. *)

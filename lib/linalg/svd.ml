@@ -1,0 +1,386 @@
+type t = { u : Mat.t; s : Vec.t; v : Mat.t }
+
+exception No_convergence
+
+let hypot2 a b = Float.hypot a b
+
+let sign_of x y = if y >= 0.0 then Float.abs x else -.Float.abs x
+
+(* Golub–Reinsch SVD for m >= n, operating on float array arrays for index
+   brevity. [a] is destroyed and becomes U (m x n); returns (w, v) with
+   singular values w (length n, unsorted/unsigned at intermediate stages)
+   and V (n x n). Classic svdcmp structure. *)
+let golub_reinsch a m n =
+  let w = Array.make n 0.0 in
+  let rv1 = Array.make n 0.0 in
+  let v = Array.make_matrix n n 0.0 in
+  let g = ref 0.0 and scale = ref 0.0 and anorm = ref 0.0 in
+  (* Householder reduction to bidiagonal form *)
+  let l = ref 0 in
+  for i = 0 to n - 1 do
+    l := i + 1;
+    rv1.(i) <- !scale *. !g;
+    g := 0.0;
+    scale := 0.0;
+    if i < m then begin
+      for k = i to m - 1 do
+        scale := !scale +. Float.abs a.(k).(i)
+      done;
+      if !scale <> 0.0 then begin
+        let s = ref 0.0 in
+        for k = i to m - 1 do
+          a.(k).(i) <- a.(k).(i) /. !scale;
+          s := !s +. (a.(k).(i) *. a.(k).(i))
+        done;
+        let f = a.(i).(i) in
+        g := -.sign_of (sqrt !s) f;
+        let h = (f *. !g) -. !s in
+        a.(i).(i) <- f -. !g;
+        for j = !l to n - 1 do
+          let s = ref 0.0 in
+          for k = i to m - 1 do
+            s := !s +. (a.(k).(i) *. a.(k).(j))
+          done;
+          let fac = !s /. h in
+          for k = i to m - 1 do
+            a.(k).(j) <- a.(k).(j) +. (fac *. a.(k).(i))
+          done
+        done;
+        for k = i to m - 1 do
+          a.(k).(i) <- a.(k).(i) *. !scale
+        done
+      end
+    end;
+    w.(i) <- !scale *. !g;
+    g := 0.0;
+    scale := 0.0;
+    if i < m && i <> n - 1 then begin
+      for k = !l to n - 1 do
+        scale := !scale +. Float.abs a.(i).(k)
+      done;
+      if !scale <> 0.0 then begin
+        let s = ref 0.0 in
+        for k = !l to n - 1 do
+          a.(i).(k) <- a.(i).(k) /. !scale;
+          s := !s +. (a.(i).(k) *. a.(i).(k))
+        done;
+        let f = a.(i).(!l) in
+        g := -.sign_of (sqrt !s) f;
+        let h = (f *. !g) -. !s in
+        a.(i).(!l) <- f -. !g;
+        for k = !l to n - 1 do
+          rv1.(k) <- a.(i).(k) /. h
+        done;
+        for j = !l to m - 1 do
+          let s = ref 0.0 in
+          for k = !l to n - 1 do
+            s := !s +. (a.(j).(k) *. a.(i).(k))
+          done;
+          for k = !l to n - 1 do
+            a.(j).(k) <- a.(j).(k) +. (!s *. rv1.(k))
+          done
+        done;
+        for k = !l to n - 1 do
+          a.(i).(k) <- a.(i).(k) *. !scale
+        done
+      end
+    end;
+    anorm := Float.max !anorm (Float.abs w.(i) +. Float.abs rv1.(i))
+  done;
+  (* Accumulation of right-hand transformations *)
+  for i = n - 1 downto 0 do
+    if i < n - 1 then begin
+      if !g <> 0.0 then begin
+        for j = !l to n - 1 do
+          v.(j).(i) <- a.(i).(j) /. a.(i).(!l) /. !g
+        done;
+        for j = !l to n - 1 do
+          let s = ref 0.0 in
+          for k = !l to n - 1 do
+            s := !s +. (a.(i).(k) *. v.(k).(j))
+          done;
+          for k = !l to n - 1 do
+            v.(k).(j) <- v.(k).(j) +. (!s *. v.(k).(i))
+          done
+        done
+      end;
+      for j = !l to n - 1 do
+        v.(i).(j) <- 0.0;
+        v.(j).(i) <- 0.0
+      done
+    end;
+    v.(i).(i) <- 1.0;
+    g := rv1.(i);
+    l := i
+  done;
+  (* Accumulation of left-hand transformations *)
+  for i = min m n - 1 downto 0 do
+    let l = i + 1 in
+    let g = w.(i) in
+    for j = l to n - 1 do
+      a.(i).(j) <- 0.0
+    done;
+    if g <> 0.0 then begin
+      let ginv = 1.0 /. g in
+      for j = l to n - 1 do
+        let s = ref 0.0 in
+        for k = l to m - 1 do
+          s := !s +. (a.(k).(i) *. a.(k).(j))
+        done;
+        let f = !s /. a.(i).(i) *. ginv in
+        for k = i to m - 1 do
+          a.(k).(j) <- a.(k).(j) +. (f *. a.(k).(i))
+        done
+      done;
+      for j = i to m - 1 do
+        a.(j).(i) <- a.(j).(i) *. ginv
+      done
+    end
+    else
+      for j = i to m - 1 do
+        a.(j).(i) <- 0.0
+      done;
+    a.(i).(i) <- a.(i).(i) +. 1.0
+  done;
+  (* Diagonalization of the bidiagonal form *)
+  for k = n - 1 downto 0 do
+    let its = ref 0 in
+    let converged = ref false in
+    while not !converged do
+      incr its;
+      if !its > 60 then raise No_convergence;
+      (* Find the split point l: rv1.(l) negligible, or w.(l-1) negligible *)
+      let flag = ref true in
+      let l = ref k in
+      let nm = ref 0 in
+      (try
+         while true do
+           nm := !l - 1;
+           if Float.abs rv1.(!l) +. !anorm = !anorm then begin
+             flag := false;
+             raise Exit
+           end;
+           if Float.abs w.(!nm) +. !anorm = !anorm then raise Exit;
+           decr l
+         done
+       with Exit -> ());
+      if !flag then begin
+        (* Cancellation of rv1.(l) when w.(l-1) is negligible *)
+        let c = ref 0.0 and s = ref 1.0 in
+        (try
+           for i = !l to k do
+             let f = !s *. rv1.(i) in
+             rv1.(i) <- !c *. rv1.(i);
+             if Float.abs f +. !anorm = !anorm then raise Exit;
+             let g = w.(i) in
+             let h = hypot2 f g in
+             w.(i) <- h;
+             let hinv = 1.0 /. h in
+             c := g *. hinv;
+             s := -.f *. hinv;
+             for j = 0 to m - 1 do
+               let y = a.(j).(!nm) in
+               let z = a.(j).(i) in
+               a.(j).(!nm) <- (y *. !c) +. (z *. !s);
+               a.(j).(i) <- (z *. !c) -. (y *. !s)
+             done
+           done
+         with Exit -> ())
+      end;
+      let z = w.(k) in
+      if !l = k then begin
+        (* convergence; make the singular value non-negative *)
+        if z < 0.0 then begin
+          w.(k) <- -.z;
+          for j = 0 to n - 1 do
+            v.(j).(k) <- -.v.(j).(k)
+          done
+        end;
+        converged := true
+      end
+      else begin
+        (* implicit-shift QR step *)
+        let x = w.(!l) in
+        let nm = k - 1 in
+        let y = w.(nm) in
+        let g0 = rv1.(nm) in
+        let h = rv1.(k) in
+        let f =
+          (((y -. z) *. (y +. z)) +. ((g0 -. h) *. (g0 +. h))) /. (2.0 *. h *. y)
+        in
+        let g1 = hypot2 f 1.0 in
+        let f = (((x -. z) *. (x +. z)) +. (h *. ((y /. (f +. sign_of g1 f)) -. h))) /. x in
+        let c = ref 1.0 and s = ref 1.0 in
+        let f = ref f and x = ref x in
+        let g = ref 0.0 and y = ref 0.0 and h = ref 0.0 in
+        for j = !l to nm do
+          let i = j + 1 in
+          g := rv1.(i);
+          y := w.(i);
+          h := !s *. !g;
+          g := !c *. !g;
+          let z = hypot2 !f !h in
+          rv1.(j) <- z;
+          c := !f /. z;
+          s := !h /. z;
+          let fnew = (!x *. !c) +. (!g *. !s) in
+          g := (!g *. !c) -. (!x *. !s);
+          h := !y *. !s;
+          y := !y *. !c;
+          for jj = 0 to n - 1 do
+            let xx = v.(jj).(j) in
+            let zz = v.(jj).(i) in
+            v.(jj).(j) <- (xx *. !c) +. (zz *. !s);
+            v.(jj).(i) <- (zz *. !c) -. (xx *. !s)
+          done;
+          let z = hypot2 fnew !h in
+          w.(j) <- z;
+          if z <> 0.0 then begin
+            let zinv = 1.0 /. z in
+            c := fnew *. zinv;
+            s := !h *. zinv
+          end;
+          f := (!c *. !g) +. (!s *. !y);
+          x := (!c *. !y) -. (!s *. !g);
+          for jj = 0 to m - 1 do
+            let yy = a.(jj).(j) in
+            let zz = a.(jj).(i) in
+            a.(jj).(j) <- (yy *. !c) +. (zz *. !s);
+            a.(jj).(i) <- (zz *. !c) -. (yy *. !s)
+          done
+        done;
+        rv1.(!l) <- 0.0;
+        rv1.(k) <- !f;
+        w.(k) <- !x
+      end
+    done
+  done;
+  (w, v)
+
+(* Sort singular values into non-increasing order, permuting U and V
+   columns to match. *)
+let sort_svd u s v =
+  let k = Array.length s in
+  let order = Array.init k (fun i -> i) in
+  Array.sort (fun i j -> compare s.(j) s.(i)) order;
+  let s' = Array.init k (fun i -> s.(order.(i))) in
+  let um, uk = Mat.dims u in
+  ignore uk;
+  let vm, _ = Mat.dims v in
+  let u' = Mat.init um k (fun i j -> Mat.get u i order.(j)) in
+  let v' = Mat.init vm k (fun i j -> Mat.get v i order.(j)) in
+  (u', s', v')
+
+let factor_tall a0 =
+  let m, n = Mat.dims a0 in
+  let a = Mat.to_arrays a0 in
+  let w, v = golub_reinsch a m n in
+  let u = Mat.of_arrays a in
+  let v = Mat.of_arrays v in
+  let u, s, v = sort_svd u w v in
+  { u; s; v }
+
+let factor a =
+  let m, n = Mat.dims a in
+  if m = 0 || n = 0 then
+    { u = Mat.create m 0; s = [||]; v = Mat.create n 0 }
+  else if m >= n then factor_tall a
+  else begin
+    let { u; s; v } = factor_tall (Mat.transpose a) in
+    { u = v; s; v = u }
+  end
+
+let jacobi_tall a0 =
+  (* One-sided Jacobi on a tall matrix: orthogonalize the columns by plane
+     rotations; the column norms become the singular values. *)
+  let m, n = Mat.dims a0 in
+  let a = Mat.to_arrays a0 in
+  let v = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    v.(i).(i) <- 1.0
+  done;
+  let eps = 1e-14 in
+  let max_sweeps = 60 in
+  let rotated = ref true in
+  let sweep = ref 0 in
+  while !rotated && !sweep < max_sweeps do
+    rotated := false;
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let app = ref 0.0 and aqq = ref 0.0 and apq = ref 0.0 in
+        for i = 0 to m - 1 do
+          app := !app +. (a.(i).(p) *. a.(i).(p));
+          aqq := !aqq +. (a.(i).(q) *. a.(i).(q));
+          apq := !apq +. (a.(i).(p) *. a.(i).(q))
+        done;
+        if Float.abs !apq > eps *. sqrt (!app *. !aqq) then begin
+          rotated := true;
+          let zeta = (!aqq -. !app) /. (2.0 *. !apq) in
+          let t = sign_of 1.0 zeta /. (Float.abs zeta +. sqrt (1.0 +. (zeta *. zeta))) in
+          let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let s = c *. t in
+          for i = 0 to m - 1 do
+            let tp = a.(i).(p) in
+            let tq = a.(i).(q) in
+            a.(i).(p) <- (c *. tp) -. (s *. tq);
+            a.(i).(q) <- (s *. tp) +. (c *. tq)
+          done;
+          for i = 0 to n - 1 do
+            let tp = v.(i).(p) in
+            let tq = v.(i).(q) in
+            v.(i).(p) <- (c *. tp) -. (s *. tq);
+            v.(i).(q) <- (s *. tp) +. (c *. tq)
+          done
+        end
+      done
+    done
+  done;
+  let s = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      acc := !acc +. (a.(i).(j) *. a.(i).(j))
+    done;
+    s.(j) <- sqrt !acc;
+    if s.(j) > 0.0 then
+      for i = 0 to m - 1 do
+        a.(i).(j) <- a.(i).(j) /. s.(j)
+      done
+  done;
+  let u, s, v = sort_svd (Mat.of_arrays a) s (Mat.of_arrays v) in
+  { u; s; v }
+
+let factor_jacobi a =
+  let m, n = Mat.dims a in
+  if m = 0 || n = 0 then { u = Mat.create m 0; s = [||]; v = Mat.create n 0 }
+  else if m >= n then jacobi_tall a
+  else begin
+    let { u; s; v } = jacobi_tall (Mat.transpose a) in
+    { u = v; s; v = u }
+  end
+
+let default_tol { u; s; v } =
+  let m, _ = Mat.dims u in
+  let n, _ = Mat.dims v in
+  if Array.length s = 0 then 0.0
+  else float_of_int (max m n) *. epsilon_float *. s.(0)
+
+let rank ?tol f =
+  let tol = match tol with Some t -> t | None -> default_tol f in
+  Array.fold_left (fun acc sv -> if sv > tol then acc + 1 else acc) 0 f.s
+
+let reconstruct { u; s; v } =
+  let k = Array.length s in
+  let m, _ = Mat.dims u in
+  let us = Mat.init m k (fun i j -> Mat.get u i j *. s.(j)) in
+  Mat.mul_nt us v
+
+let pinv ?tol f =
+  let tol = match tol with Some t -> t | None -> default_tol f in
+  let k = Array.length f.s in
+  let n, _ = Mat.dims f.v in
+  let vs = Mat.init n k (fun i j -> if f.s.(j) > tol then Mat.get f.v i j /. f.s.(j) else 0.0) in
+  Mat.mul_nt vs f.u
+
+let nuclear_norm f = Array.fold_left ( +. ) 0.0 f.s

@@ -1,0 +1,32 @@
+(** Singular value decomposition.
+
+    [factor a] returns the thin SVD [a = u * diag s * transpose v] with
+    [u : m x k], [s : k] (non-negative, non-increasing), [v : n x k],
+    where [k = min m n]. *)
+
+type t = { u : Mat.t; s : Vec.t; v : Mat.t }
+
+exception No_convergence
+
+val factor : Mat.t -> t
+(** Golub–Reinsch: Householder bidiagonalization followed by implicit-shift
+    QR on the bidiagonal. Raises {!No_convergence} after 60 sweeps on one
+    singular value (does not happen on finite inputs in practice). *)
+
+val factor_jacobi : Mat.t -> t
+(** One-sided Jacobi SVD. Slower; kept as an independent oracle for
+    cross-checking {!factor} in tests. *)
+
+val rank : ?tol:float -> t -> int
+(** Numerical rank: number of singular values above [tol]. Default
+    [tol = max m n * epsilon * s.(0)]. *)
+
+val reconstruct : t -> Mat.t
+(** [u * diag s * transpose v]. *)
+
+val pinv : ?tol:float -> t -> Mat.t
+(** Moore–Penrose pseudo-inverse [v * diag 1/s * transpose u], zeroing
+    singular values below [tol] (same default as {!rank}). *)
+
+val nuclear_norm : t -> float
+(** Sum of singular values (the "energy" E of the paper's Section 4.2). *)

@@ -1,0 +1,85 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option;  (* cached second deviate of the polar method *)
+}
+
+(* SplitMix64: turns any seed into a well-distributed state. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = None }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 r =
+  let result = Int64.mul (rotl (Int64.mul r.s1 5L) 7) 9L in
+  let t = Int64.shift_left r.s1 17 in
+  r.s2 <- Int64.logxor r.s2 r.s0;
+  r.s3 <- Int64.logxor r.s3 r.s1;
+  r.s1 <- Int64.logxor r.s1 r.s2;
+  r.s0 <- Int64.logxor r.s0 r.s3;
+  r.s2 <- Int64.logxor r.s2 t;
+  r.s3 <- rotl r.s3 45;
+  result
+
+let split r =
+  let seed = Int64.to_int (bits64 r) in
+  create (seed lxor 0x5DEECE66D)
+
+let copy r = { r with spare = r.spare }
+
+(* 53 uniform bits into [0,1) *)
+let float r =
+  let x = Int64.shift_right_logical (bits64 r) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let uniform r lo hi = lo +. ((hi -. lo) *. float r)
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's native int; plain modulo is
+     fine for our small bounds *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 r) 2) in
+  x mod bound
+
+let gaussian r =
+  match r.spare with
+  | Some v ->
+    r.spare <- None;
+    v
+  | None ->
+    let rec draw () =
+      let u = uniform r (-1.0) 1.0 in
+      let v = uniform r (-1.0) 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then draw ()
+      else begin
+        let mul = sqrt (-2.0 *. log s /. s) in
+        r.spare <- Some (v *. mul);
+        u *. mul
+      end
+    in
+    draw ()
+
+let gaussian_vector r n = Array.init n (fun _ -> gaussian r)
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256** seeded through SplitMix64, so any
+    64-bit seed yields a well-mixed state. Every stochastic component of
+    the library takes an explicit [t] so that experiments are exactly
+    reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val split : t -> t
+(** [split rng] derives an independent generator stream and advances
+    [rng]. Use it to hand sub-components their own streams. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform rng lo hi] is uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)]. Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Marsaglia polar method). *)
+
+val gaussian_vector : t -> int -> float array
+(** [gaussian_vector rng n] draws [n] iid standard normals. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

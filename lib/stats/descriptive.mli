@@ -1,0 +1,22 @@
+(** Descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for n < 2. *)
+
+val stddev : float array -> float
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance. Raises [Invalid_argument] on length
+    mismatch. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either side is constant. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] is the linear-interpolation empirical quantile,
+    [p] in [0, 1]. Raises [Invalid_argument] on an empty array or [p]
+    outside [0, 1]. Does not modify [xs]. *)
+
+val max_abs : float array -> float

@@ -1,0 +1,27 @@
+(** Statistical gate criticality.
+
+    The criticality of a gate is the probability, over process
+    variation, that it lies on the die's critical (delay-limiting)
+    path. Deterministic STA gives a 0/1 answer; under variation the
+    critical path moves from die to die, and criticality is the right
+    prioritization signal for optimization and for deciding where
+    measurement structures pay off. Computed by Monte Carlo: per
+    sampled die, a full timing sweep plus an argmax backtrace marks the
+    critical path's gates. *)
+
+type t = {
+  probability : float array;     (** per gate id, in [0, 1] *)
+  samples : int;
+  mean_critical_length : float;  (** average gates on the critical path *)
+}
+
+val compute : Delay_model.t -> rng:Rng.t -> samples:int -> t
+(** Raises [Invalid_argument] when [samples <= 0]. *)
+
+val ranking : t -> int array
+(** Gate ids sorted by decreasing criticality. *)
+
+val nominal_critical_gates : Delay_model.t -> int array
+(** The gates of the nominal (variation-free) critical path, in
+    source-to-sink order — deterministic STA's answer, for
+    comparison. *)

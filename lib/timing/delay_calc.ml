@@ -1,0 +1,75 @@
+type config = {
+  input_slew : float;
+  wire_cap_per_fanout : float;
+  primary_output_cap : float;
+}
+
+let default_config =
+  { input_slew = 0.05; wire_cap_per_fanout = 0.002; primary_output_cap = 0.004 }
+
+type t = {
+  delays : float array;
+  slews : float array;
+  loads : float array;
+}
+
+let run ?(config = default_config) lib nl =
+  let n = Circuit.Netlist.num_gates nl in
+  let num_inputs = Circuit.Netlist.num_inputs nl in
+  let cells =
+    Array.map
+      (fun (g : Circuit.Netlist.gate) ->
+        match Circuit.Liberty.Library.find_cell lib (Circuit.Cell.name g.cell) with
+        | Some c -> c
+        | None ->
+          failwith
+            (Printf.sprintf "Delay_calc.run: cell %s missing from library %s"
+               (Circuit.Cell.name g.cell) lib.Circuit.Liberty.Library.lib_name))
+      (Circuit.Netlist.gates nl)
+  in
+  (* load on each gate output: sink input caps + wire + PO loads *)
+  let loads = Array.make n 0.0 in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      let cap = Circuit.Liberty.Library.average_input_cap cells.(g.id) in
+      Array.iter
+        (fun code ->
+          if code >= num_inputs then begin
+            let src = code - num_inputs in
+            loads.(src) <- loads.(src) +. cap +. config.wire_cap_per_fanout
+          end)
+        g.fanin)
+    (Circuit.Netlist.gates nl);
+  Array.iter
+    (fun o ->
+      match o with
+      | Circuit.Netlist.Gate_out g -> loads.(g) <- loads.(g) +. config.primary_output_cap
+      | Circuit.Netlist.Pi _ -> ())
+    (Circuit.Netlist.outputs nl);
+  (* slew propagation in topological order *)
+  let slew_of_signal = Array.make (num_inputs + n) config.input_slew in
+  let delays = Array.make n 0.0 in
+  let slews = Array.make n 0.0 in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      let in_slew =
+        Array.fold_left
+          (fun acc code -> Float.max acc slew_of_signal.(code))
+          0.0 g.fanin
+      in
+      let cell = cells.(g.id) in
+      let d_ns =
+        Circuit.Liberty.Library.worst_delay cell ~slew:in_slew ~load:loads.(g.id)
+      in
+      let out_slew =
+        Circuit.Liberty.Library.worst_output_slew cell ~slew:in_slew ~load:loads.(g.id)
+      in
+      delays.(g.id) <- 1000.0 *. d_ns;
+      slews.(g.id) <- out_slew;
+      slew_of_signal.(num_inputs + g.id) <- out_slew)
+    (Circuit.Netlist.gates nl);
+  { delays; slews; loads }
+
+let delay_model ?config lib nl ~model =
+  let r = run ?config lib nl in
+  Delay_model.build_with_nominals nl model r.delays

@@ -1,0 +1,27 @@
+type model = {
+  quantization_ps : float;
+  jitter_sigma_ps : float;
+  offset_ps : float;
+}
+
+let ideal = { quantization_ps = 0.0; jitter_sigma_ps = 0.0; offset_ps = 0.0 }
+
+let typical_path_ro =
+  { quantization_ps = 2.5; jitter_sigma_ps = 1.0; offset_ps = 0.0 }
+
+let apply m rng d =
+  let noisy =
+    d +. m.offset_ps
+    +. (if m.jitter_sigma_ps > 0.0 then m.jitter_sigma_ps *. Rng.gaussian rng else 0.0)
+  in
+  if m.quantization_ps > 0.0 then
+    Float.round (noisy /. m.quantization_ps) *. m.quantization_ps
+  else noisy
+
+let apply_mat m rng mat =
+  let rows, cols = Linalg.Mat.dims mat in
+  Linalg.Mat.init rows cols (fun i j -> apply m rng (Linalg.Mat.get mat i j))
+
+let worst_case_error m ~kappa =
+  Float.abs m.offset_ps +. (m.quantization_ps /. 2.0)
+  +. (kappa *. m.jitter_sigma_ps)

@@ -1,0 +1,34 @@
+(** On-chip delay-measurement modelling.
+
+    The paper assumes accurate post-silicon path delay measurement via
+    special scan flip-flops or Path-RO-style structures (its [10]).
+    Real measurement is neither continuous nor noise-free: a
+    time-to-digital converter quantizes to its step, and launch/capture
+    jitter adds noise. This module models both so the robustness of the
+    prediction flow against measurement error can be quantified (bench
+    experiment E9). *)
+
+type model = {
+  quantization_ps : float;  (** TDC step; 0 = continuous *)
+  jitter_sigma_ps : float;  (** Gaussian jitter, 1 sigma *)
+  offset_ps : float;        (** systematic calibration offset *)
+}
+
+val ideal : model
+(** No quantization, jitter, or offset. *)
+
+val typical_path_ro : model
+(** 2.5 ps quantization, 1 ps jitter, no offset — representative of a
+    ring-oscillator-based measurement structure in 90 nm. *)
+
+val apply : model -> Rng.t -> float -> float
+(** Measure one delay: add jitter and offset, then round to the
+    quantization grid. *)
+
+val apply_mat : model -> Rng.t -> Linalg.Mat.t -> Linalg.Mat.t
+(** Element-wise {!apply} over a (dies x paths) delay matrix. *)
+
+val worst_case_error : model -> kappa:float -> float
+(** Deterministic bound on a single measurement's error:
+    [|offset| + quantization/2 + kappa * jitter]. Add it to the
+    prediction guard band when measurements are non-ideal. *)

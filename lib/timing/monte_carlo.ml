@@ -1,0 +1,81 @@
+type t = {
+  pool : Paths.t;
+  x : Linalg.Mat.t;
+  mutable d_paths : Linalg.Mat.t option;
+  mutable d_segments : Linalg.Mat.t option;
+}
+
+let sample rng pool ~n =
+  if n <= 0 then invalid_arg "Monte_carlo.sample: n must be positive";
+  let m = Paths.num_vars pool in
+  let x = Linalg.Mat.init n m (fun _ _ -> Rng.gaussian rng) in
+  { pool; x; d_paths = None; d_segments = None }
+
+let num_samples t = fst (Linalg.Mat.dims t.x)
+
+let x_mat t = t.x
+
+let add_mu d mu =
+  let n, k = Linalg.Mat.dims d in
+  Linalg.Mat.init n k (fun i j -> Linalg.Mat.get d i j +. mu.(j))
+
+let path_delays t =
+  match t.d_paths with
+  | Some d -> d
+  | None ->
+    let d = add_mu (Linalg.Mat.mul_nt t.x (Paths.a_mat t.pool)) (Paths.mu_paths t.pool) in
+    t.d_paths <- Some d;
+    d
+
+let segment_delays t =
+  match t.d_segments with
+  | Some d -> d
+  | None ->
+    let d =
+      add_mu (Linalg.Mat.mul_nt t.x (Paths.sigma_mat t.pool)) (Paths.mu_segments t.pool)
+    in
+    t.d_segments <- Some d;
+    d
+
+let circuit_yield dm ~t_cons ~rng ~samples =
+  if samples <= 0 then invalid_arg "Monte_carlo.circuit_yield: samples must be positive";
+  let nl = Delay_model.netlist dm in
+  let model = Delay_model.model dm in
+  let n_gates = Circuit.Netlist.num_gates nl in
+  let num_inputs = Circuit.Netlist.num_inputs nl in
+  let levels = model.Variation.levels in
+  let pass = ref 0 in
+  let arrival = Array.make (num_inputs + n_gates) 0.0 in
+  for _ = 1 to samples do
+    (* draw region variables for both parameters and all levels *)
+    let region_draw =
+      Array.init 2 (fun _ ->
+          Array.init levels (fun level ->
+              Rng.gaussian_vector rng (Variation.regions_at_level level)))
+    in
+    let rand_draw = Rng.gaussian_vector rng n_gates in
+    Array.fill arrival 0 (num_inputs + n_gates) 0.0;
+    Array.iter
+      (fun (g : Circuit.Netlist.gate) ->
+        let d = ref (Delay_model.nominal dm g.id) in
+        List.iter
+          (fun (k, c) ->
+            match k with
+            | Variation.Region { param; level; cell } ->
+              let p = match param with Variation.Leff -> 0 | Variation.Vt -> 1 in
+              d := !d +. (c *. region_draw.(p).(level).(cell))
+            | Variation.Gate_random gid -> d := !d +. (c *. rand_draw.(gid)))
+          (Delay_model.sensitivities dm g.id);
+        let amax =
+          Array.fold_left (fun acc code -> Float.max acc arrival.(code)) 0.0 g.fanin
+        in
+        arrival.(num_inputs + g.id) <- amax +. !d)
+      (Circuit.Netlist.gates nl);
+    let dmax =
+      Array.fold_left
+        (fun acc o -> Float.max acc arrival.(Circuit.Netlist.encode_signal nl o))
+        0.0 (Circuit.Netlist.outputs nl)
+    in
+    if dmax <= t_cons then incr pass
+  done;
+  float_of_int !pass /. float_of_int samples

@@ -1,0 +1,31 @@
+(** Monte Carlo "virtual dies".
+
+    Each sample is one fabricated chip: a draw of the full variation
+    vector [x ~ N(0, I)]. True path and segment delays follow from the
+    linear model; this is exactly how the paper evaluates prediction
+    accuracy (Section 6, N = 10,000 samples). *)
+
+type t
+
+val sample : Rng.t -> Paths.t -> n:int -> t
+(** Draw [n] dies for the given path pool. *)
+
+val num_samples : t -> int
+
+val x_mat : t -> Linalg.Mat.t
+(** [n x m] raw variation draws. *)
+
+val path_delays : t -> Linalg.Mat.t
+(** [n_samples x n_paths] true path delays: [mu_P + X A^T], computed
+    lazily and cached. *)
+
+val segment_delays : t -> Linalg.Mat.t
+(** [n_samples x n_segments] true segment delays: [mu_S + X Sigma^T],
+    lazy and cached. *)
+
+val circuit_yield :
+  Delay_model.t -> t_cons:float -> rng:Rng.t -> samples:int -> float
+(** Full-circuit timing yield estimate: per sample, draw every model
+    variable (all gates, all regions), run a longest-path sweep, and
+    count dies meeting [t_cons]. Independent of any extracted path
+    pool. *)

@@ -1,0 +1,71 @@
+type param = Leff | Vt
+
+let params = [ Leff; Vt ]
+
+let param_name = function Leff -> "Leff" | Vt -> "Vt"
+
+type var_key =
+  | Region of { param : param; level : int; cell : int }
+  | Gate_random of int
+
+type model = {
+  levels : int;
+  level_weights : float array;
+  random_share : float;
+  random_boost : float;
+}
+
+let default_weights levels =
+  if levels = 1 then [| 1.0 |]
+  else begin
+    let rest = 0.6 /. float_of_int (levels - 1) in
+    Array.init levels (fun k -> if k = 0 then 0.4 else rest)
+  end
+
+let make_model ?level_weights ?(random_share = 0.06) ?(random_boost = 1.0) ~levels () =
+  if levels < 1 then invalid_arg "Variation.make_model: levels must be >= 1";
+  if random_share < 0.0 || random_share >= 1.0 then
+    invalid_arg "Variation.make_model: random_share outside [0, 1)";
+  if random_boost < 0.0 then invalid_arg "Variation.make_model: negative random_boost";
+  let level_weights =
+    match level_weights with
+    | None -> default_weights levels
+    | Some w ->
+      if Array.length w <> levels then
+        invalid_arg "Variation.make_model: level_weights length mismatch";
+      let s = Array.fold_left ( +. ) 0.0 w in
+      if s <= 0.0 then invalid_arg "Variation.make_model: level_weights sum to 0";
+      Array.iter (fun x -> if x < 0.0 then
+                     invalid_arg "Variation.make_model: negative level weight") w;
+      Array.map (fun x -> x /. s) w
+  in
+  { levels; level_weights; random_share; random_boost }
+
+let regions_at_level level = 1 lsl (2 * level)
+
+let region_count m =
+  let rec go k acc = if k >= m.levels then acc else go (k + 1) (acc + regions_at_level k) in
+  go 0 0
+
+let cell_of_position ~level x y =
+  let side = 1 lsl level in
+  let clamp_idx v =
+    let i = int_of_float (v *. float_of_int side) in
+    max 0 (min (side - 1) i)
+  in
+  (clamp_idx y * side) + clamp_idx x
+
+let compare_var a b =
+  match a, b with
+  | Region r1, Region r2 ->
+    compare
+      ( (match r1.param with Leff -> 0 | Vt -> 1), r1.level, r1.cell )
+      ( (match r2.param with Leff -> 0 | Vt -> 1), r2.level, r2.cell )
+  | Region _, Gate_random _ -> -1
+  | Gate_random _, Region _ -> 1
+  | Gate_random g1, Gate_random g2 -> compare g1 g2
+
+let var_name = function
+  | Region { param; level; cell } ->
+    Printf.sprintf "%s@L%d.%d" (param_name param) level cell
+  | Gate_random g -> Printf.sprintf "rand@g%d" g

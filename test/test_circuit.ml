@@ -1,0 +1,314 @@
+(* Tests for the circuit substrate: cells, netlists, the generator and
+   the .bench reader/writer. *)
+
+let pi i = Circuit.Netlist.Pi i
+
+let gout g = Circuit.Netlist.Gate_out g
+
+(* A tiny hand-built netlist used across tests:
+   g0 = NAND2(pi0, pi1); g1 = INV(g0); outputs: g1 *)
+let tiny () =
+  Circuit.Netlist.build ~name:"tiny" ~num_inputs:2
+    ~gates:
+      [
+        ("g0", Circuit.Cell.Nand2, [| pi 0; pi 1 |], (0.2, 0.2));
+        ("g1", Circuit.Cell.Inv, [| gout 0 |], (0.6, 0.6));
+      ]
+    ~outputs:[ gout 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Cell *)
+
+let test_cell_arities () =
+  List.iter
+    (fun c ->
+      let a = Circuit.Cell.arity c in
+      if a < 1 || a > 3 then Alcotest.failf "bad arity for %s" (Circuit.Cell.name c))
+    Circuit.Cell.all
+
+let test_cell_names_roundtrip () =
+  List.iter
+    (fun c ->
+      match Circuit.Cell.of_name (Circuit.Cell.name c) with
+      | Some c' when c = c' -> ()
+      | Some _ | None -> Alcotest.failf "name roundtrip failed for %s" (Circuit.Cell.name c))
+    Circuit.Cell.all
+
+let test_cell_iscas_aliases () =
+  Alcotest.(check bool) "NOT -> Inv" true (Circuit.Cell.of_name "not" = Some Circuit.Cell.Inv);
+  Alcotest.(check bool) "NAND -> Nand2" true
+    (Circuit.Cell.of_name "NAND" = Some Circuit.Cell.Nand2);
+  Alcotest.(check bool) "garbage -> None" true (Circuit.Cell.of_name "FOO" = None)
+
+let test_cell_delay_monotone_in_fanout () =
+  List.iter
+    (fun c ->
+      let d1 = Circuit.Cell.delay c ~fanout:1 in
+      let d4 = Circuit.Cell.delay c ~fanout:4 in
+      if d4 <= d1 then Alcotest.failf "%s delay not increasing in fanout" (Circuit.Cell.name c);
+      if d1 <= 0.0 then Alcotest.failf "%s has non-positive delay" (Circuit.Cell.name c))
+    Circuit.Cell.all
+
+let test_cell_sensitivities_positive () =
+  List.iter
+    (fun c ->
+      if Circuit.Cell.leff_sensitivity c <= 0.0 || Circuit.Cell.vt_sensitivity c <= 0.0 then
+        Alcotest.failf "%s has non-positive sensitivity" (Circuit.Cell.name c))
+    Circuit.Cell.all
+
+(* ------------------------------------------------------------------ *)
+(* Netlist *)
+
+let test_netlist_basic () =
+  let nl = tiny () in
+  Alcotest.(check int) "gates" 2 (Circuit.Netlist.num_gates nl);
+  Alcotest.(check int) "inputs" 2 (Circuit.Netlist.num_inputs nl);
+  Alcotest.(check int) "depth" 2 (Circuit.Netlist.depth nl);
+  Alcotest.(check int) "fanout g0" 1 (Circuit.Netlist.fanout_count nl 0);
+  Alcotest.(check int) "fanout g1 (PO)" 1 (Circuit.Netlist.fanout_count nl 1)
+
+let test_netlist_signal_codec () =
+  let nl = tiny () in
+  let s = gout 1 in
+  let code = Circuit.Netlist.encode_signal nl s in
+  Alcotest.(check bool) "roundtrip" true (Circuit.Netlist.decode_signal nl code = s);
+  Alcotest.(check int) "pi code" 0 (Circuit.Netlist.encode_signal nl (pi 0))
+
+let test_netlist_rejects_forward_ref () =
+  Alcotest.(check bool) "forward reference rejected" true
+    (match
+       Circuit.Netlist.build ~name:"bad" ~num_inputs:1
+         ~gates:[ ("g0", Circuit.Cell.Inv, [| gout 1 |], (0.5, 0.5)) ]
+         ~outputs:[ gout 0 ]
+     with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Invalid_argument _ -> true)
+
+let test_netlist_rejects_arity_mismatch () =
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (match
+       Circuit.Netlist.build ~name:"bad" ~num_inputs:2
+         ~gates:[ ("g0", Circuit.Cell.Nand2, [| pi 0 |], (0.5, 0.5)) ]
+         ~outputs:[ gout 0 ]
+     with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Invalid_argument _ -> true)
+
+let test_netlist_rejects_dangling_gate () =
+  Alcotest.(check bool) "dangling gate rejected" true
+    (match
+       Circuit.Netlist.build ~name:"bad" ~num_inputs:1
+         ~gates:
+           [
+             ("g0", Circuit.Cell.Inv, [| pi 0 |], (0.5, 0.5));
+             ("g1", Circuit.Cell.Inv, [| pi 0 |], (0.5, 0.5));
+           ]
+         ~outputs:[ gout 0 ]
+     with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Invalid_argument _ -> true)
+
+let test_netlist_rejects_duplicate_names () =
+  Alcotest.(check bool) "duplicate name rejected" true
+    (match
+       Circuit.Netlist.build ~name:"bad" ~num_inputs:1
+         ~gates:
+           [
+             ("g", Circuit.Cell.Inv, [| pi 0 |], (0.5, 0.5));
+             ("g", Circuit.Cell.Inv, [| pi 0 |], (0.5, 0.5));
+           ]
+         ~outputs:[ gout 0; gout 1 ]
+     with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Generator *)
+
+let test_generator_deterministic () =
+  let p = Circuit.Generator.default in
+  let a = Circuit.Generator.generate p in
+  let b = Circuit.Generator.generate p in
+  Alcotest.(check string) "same stats" (Circuit.Netlist.stats a) (Circuit.Netlist.stats b);
+  let ga = Circuit.Netlist.gates a and gb = Circuit.Netlist.gates b in
+  Array.iteri
+    (fun i (g : Circuit.Netlist.gate) ->
+      if g.cell <> gb.(i).cell || g.fanin <> gb.(i).fanin then
+        Alcotest.failf "gate %d differs between runs" i)
+    ga
+
+let test_generator_seed_changes_structure () =
+  let a = Circuit.Generator.generate Circuit.Generator.default in
+  let b = Circuit.Generator.generate { Circuit.Generator.default with seed = 99 } in
+  let ga = Circuit.Netlist.gates a and gb = Circuit.Netlist.gates b in
+  let d = ref false in
+  Array.iteri (fun i (g : Circuit.Netlist.gate) -> if g.fanin <> gb.(i).fanin then d := true) ga;
+  Alcotest.(check bool) "structures differ" true !d
+
+let test_generator_sizes () =
+  let p = { Circuit.Generator.default with num_gates = 777; depth = 20 } in
+  let nl = Circuit.Generator.generate p in
+  Alcotest.(check int) "gate count" 777 (Circuit.Netlist.num_gates nl);
+  Alcotest.(check bool) "depth <= target" true (Circuit.Netlist.depth nl <= 20);
+  Alcotest.(check bool) "depth close to target" true (Circuit.Netlist.depth nl >= 15)
+
+let test_generator_placement_on_die () =
+  let nl = Circuit.Generator.generate Circuit.Generator.default in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      if g.x < 0.0 || g.x > 1.0 || g.y < 0.0 || g.y > 1.0 then
+        Alcotest.failf "gate %s off die" g.name)
+    (Circuit.Netlist.gates nl)
+
+let test_generator_rejects_bad_params () =
+  Alcotest.(check bool) "bad depth rejected" true
+    (match Circuit.Generator.generate { Circuit.Generator.default with depth = 0 } with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Bench IO *)
+
+let sample_bench =
+  {|# a small sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+w1 = NAND(a, b)
+w2 = NOT(w1)
+q = DFF(w2)
+z = AND(q, w1)
+|}
+
+let test_bench_parse () =
+  let nl = Circuit.Bench_io.parse ~name:"sample" sample_bench in
+  (* a, b + pseudo-input q -> 3 inputs; z + pseudo-output w2 -> 2 outputs *)
+  Alcotest.(check int) "inputs (incl DFF Q)" 3 (Circuit.Netlist.num_inputs nl);
+  Alcotest.(check int) "outputs (incl DFF D)" 2 (Array.length (Circuit.Netlist.outputs nl));
+  Alcotest.(check int) "gates" 3 (Circuit.Netlist.num_gates nl)
+
+let test_bench_parse_out_of_order () =
+  let text = "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = NOT(a)\n" in
+  let nl = Circuit.Bench_io.parse ~name:"ooo" text in
+  Alcotest.(check int) "gates" 2 (Circuit.Netlist.num_gates nl);
+  Alcotest.(check int) "depth" 2 (Circuit.Netlist.depth nl)
+
+let test_bench_wide_gate_decomposition () =
+  let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\nz = NAND(a, b, c, d)\n" in
+  let nl = Circuit.Bench_io.parse ~name:"wide" text in
+  (* 4-input NAND -> 2 AND2 + 1 NAND2 *)
+  Alcotest.(check int) "decomposed gates" 3 (Circuit.Netlist.num_gates nl)
+
+let test_bench_parse_errors () =
+  let bad = "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n" in
+  Alcotest.(check bool) "unknown function rejected" true
+    (match Circuit.Bench_io.parse ~name:"bad" bad with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Circuit.Bench_io.Parse_error (3, _) -> true
+     | exception Circuit.Bench_io.Parse_error _ -> true);
+  let undef = "INPUT(a)\nOUTPUT(z)\nz = NOT(ghost)\n" in
+  Alcotest.(check bool) "undefined signal rejected" true
+    (match Circuit.Bench_io.parse ~name:"bad" undef with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Circuit.Bench_io.Parse_error _ -> true)
+
+let test_bench_cycle_detected () =
+  let text = "INPUT(a)\nOUTPUT(z)\nz = AND(a, y)\ny = NOT(z)\n" in
+  Alcotest.(check bool) "cycle rejected" true
+    (match Circuit.Bench_io.parse ~name:"cyc" text with
+     | (_ : Circuit.Netlist.t) -> false
+     | exception Circuit.Bench_io.Parse_error _ -> true)
+
+let test_bench_roundtrip () =
+  let nl = Circuit.Generator.generate { Circuit.Generator.default with num_gates = 60 } in
+  let text = Circuit.Bench_io.print nl in
+  let nl2 = Circuit.Bench_io.parse ~name:"rt" text in
+  Alcotest.(check int) "gates preserved" (Circuit.Netlist.num_gates nl)
+    (Circuit.Netlist.num_gates nl2);
+  Alcotest.(check int) "inputs preserved" (Circuit.Netlist.num_inputs nl)
+    (Circuit.Netlist.num_inputs nl2);
+  Alcotest.(check int) "depth preserved" (Circuit.Netlist.depth nl) (Circuit.Netlist.depth nl2)
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks *)
+
+let test_benchmarks_table () =
+  Alcotest.(check int) "ten presets" 10 (List.length Circuit.Benchmarks.all);
+  match Circuit.Benchmarks.find "s1423" with
+  | None -> Alcotest.fail "s1423 missing"
+  | Some p ->
+    Alcotest.(check int) "s1423 regions" 21 (Circuit.Benchmarks.region_count p);
+    (match Circuit.Benchmarks.find "s38417" with
+     | None -> Alcotest.fail "s38417 missing"
+     | Some big -> Alcotest.(check int) "s38417 regions" 341 (Circuit.Benchmarks.region_count big))
+
+let test_benchmarks_scaled_netlist () =
+  match Circuit.Benchmarks.find "s1196" with
+  | None -> Alcotest.fail "s1196 missing"
+  | Some p ->
+    let nl = Circuit.Benchmarks.netlist ~scale:0.25 p in
+    let g = Circuit.Netlist.num_gates nl in
+    Alcotest.(check bool) "scaled size" true (g > 100 && g < 200)
+
+let prop_generator_valid =
+  QCheck.Test.make ~count:25 ~name:"generator output always validates"
+    QCheck.(pair (int_range 20 300) (int_range 1 1000))
+    (fun (gates, seed) ->
+      let p =
+        { Circuit.Generator.default with num_gates = gates; seed; depth = 8 }
+      in
+      (* Netlist.build validates topology/arity/coverage; surviving it is
+         the property *)
+      let nl = Circuit.Generator.generate p in
+      Circuit.Netlist.num_gates nl = gates)
+
+let prop_bench_roundtrip =
+  QCheck.Test.make ~count:15 ~name:"bench print/parse preserves structure"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let nl =
+        Circuit.Generator.generate
+          { Circuit.Generator.default with num_gates = 50; seed }
+      in
+      let nl2 = Circuit.Bench_io.parse ~name:"rt" (Circuit.Bench_io.print nl) in
+      Circuit.Netlist.num_gates nl2 = Circuit.Netlist.num_gates nl
+      && Circuit.Netlist.depth nl2 = Circuit.Netlist.depth nl)
+
+let unit_tests =
+  [
+    ("cell: arities", test_cell_arities);
+    ("cell: name roundtrip", test_cell_names_roundtrip);
+    ("cell: iscas aliases", test_cell_iscas_aliases);
+    ("cell: delay monotone in fanout", test_cell_delay_monotone_in_fanout);
+    ("cell: positive sensitivities", test_cell_sensitivities_positive);
+    ("netlist: basic accessors", test_netlist_basic);
+    ("netlist: signal codec", test_netlist_signal_codec);
+    ("netlist: rejects forward reference", test_netlist_rejects_forward_ref);
+    ("netlist: rejects arity mismatch", test_netlist_rejects_arity_mismatch);
+    ("netlist: rejects dangling gate", test_netlist_rejects_dangling_gate);
+    ("netlist: rejects duplicate names", test_netlist_rejects_duplicate_names);
+    ("generator: deterministic", test_generator_deterministic);
+    ("generator: seed changes structure", test_generator_seed_changes_structure);
+    ("generator: exact sizes", test_generator_sizes);
+    ("generator: placement on die", test_generator_placement_on_die);
+    ("generator: rejects bad params", test_generator_rejects_bad_params);
+    ("bench: parse with DFF cut", test_bench_parse);
+    ("bench: out-of-order definitions", test_bench_parse_out_of_order);
+    ("bench: wide gate decomposition", test_bench_wide_gate_decomposition);
+    ("bench: parse errors", test_bench_parse_errors);
+    ("bench: cycle detected", test_bench_cycle_detected);
+    ("bench: roundtrip", test_bench_roundtrip);
+    ("benchmarks: paper table presets", test_benchmarks_table);
+    ("benchmarks: scaled netlist", test_benchmarks_scaled_netlist);
+  ]
+
+let property_tests =
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    [ prop_generator_valid; prop_bench_roundtrip ]
+
+let suites =
+  [
+    ( "circuit",
+      List.map (fun (name, f) -> Alcotest.test_case name `Quick f) unit_tests
+      @ property_tests );
+  ]

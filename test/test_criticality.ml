@@ -1,0 +1,94 @@
+(* Tests for statistical gate criticality. *)
+
+let dm () =
+  let nl =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = 130; seed = 91 }
+  in
+  Timing.Delay_model.build nl (Timing.Variation.make_model ~levels:3 ())
+
+let test_probabilities_in_range () =
+  let d = dm () in
+  let c = Timing.Criticality.compute d ~rng:(Rng.create 1) ~samples:300 in
+  Array.iter
+    (fun p -> if p < 0.0 || p > 1.0 then Alcotest.failf "probability %g out of range" p)
+    c.probability
+
+let test_nominal_path_is_highly_critical () =
+  (* the gates of the nominal critical path must carry substantial
+     statistical criticality mass *)
+  let d = dm () in
+  let c = Timing.Criticality.compute d ~rng:(Rng.create 2) ~samples:400 in
+  let nominal = Timing.Criticality.nominal_critical_gates d in
+  Alcotest.(check bool) "nominal path nonempty" true (Array.length nominal > 0);
+  let avg =
+    Array.fold_left (fun acc g -> acc +. c.probability.(g)) 0.0 nominal
+    /. float_of_int (Array.length nominal)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "nominal path avg criticality %.3f" avg)
+    true (avg > 0.2)
+
+let test_nominal_path_is_a_path () =
+  (* consecutive nominal-critical gates must be connected *)
+  let d = dm () in
+  let nl = Timing.Delay_model.netlist d in
+  let gates = Timing.Criticality.nominal_critical_gates d in
+  (* arrival-ordered: each gate after the first has the previous one in
+     its transitive fanin via direct connection *)
+  for k = 1 to Array.length gates - 1 do
+    let g = Circuit.Netlist.gate nl gates.(k) in
+    let prev_code = Circuit.Netlist.encode_signal nl (Circuit.Netlist.Gate_out gates.(k - 1)) in
+    if not (Array.exists (fun c -> c = prev_code) g.fanin) then
+      Alcotest.failf "gates %d -> %d not connected" gates.(k - 1) gates.(k)
+  done
+
+let test_mean_length_sane () =
+  let d = dm () in
+  let nl = Timing.Delay_model.netlist d in
+  let c = Timing.Criticality.compute d ~rng:(Rng.create 3) ~samples:200 in
+  Alcotest.(check bool) "length positive" true (c.mean_critical_length >= 1.0);
+  Alcotest.(check bool) "length bounded by depth" true
+    (c.mean_critical_length <= float_of_int (Circuit.Netlist.depth nl) +. 1e-9)
+
+let test_criticality_mass_conservation () =
+  (* summed criticality = mean critical length (each die contributes
+     its path's gates exactly once) *)
+  let d = dm () in
+  let c = Timing.Criticality.compute d ~rng:(Rng.create 4) ~samples:250 in
+  let total = Array.fold_left ( +. ) 0.0 c.probability in
+  if Float.abs (total -. c.mean_critical_length) > 1e-9 then
+    Alcotest.failf "mass %.4f vs mean length %.4f" total c.mean_critical_length
+
+let test_ranking_sorted () =
+  let d = dm () in
+  let c = Timing.Criticality.compute d ~rng:(Rng.create 5) ~samples:150 in
+  let r = Timing.Criticality.ranking c in
+  for k = 1 to Array.length r - 1 do
+    if c.probability.(r.(k)) > c.probability.(r.(k - 1)) +. 1e-12 then
+      Alcotest.fail "ranking not sorted"
+  done
+
+let test_validation () =
+  let d = dm () in
+  Alcotest.(check bool) "0 samples rejected" true
+    (match Timing.Criticality.compute d ~rng:(Rng.create 1) ~samples:0 with
+     | (_ : Timing.Criticality.t) -> false
+     | exception Invalid_argument _ -> true)
+
+let unit_tests =
+  [
+    ("criticality: probabilities in [0,1]", test_probabilities_in_range);
+    ("criticality: nominal path is critical", test_nominal_path_is_highly_critical);
+    ("criticality: nominal gates form a path", test_nominal_path_is_a_path);
+    ("criticality: mean length sane", test_mean_length_sane);
+    ("criticality: mass conservation", test_criticality_mass_conservation);
+    ("criticality: ranking sorted", test_ranking_sorted);
+    ("criticality: validation", test_validation);
+  ]
+
+let suites =
+  [
+    ( "criticality",
+      List.map (fun (name, f) -> Alcotest.test_case name `Quick f) unit_tests );
+  ]

@@ -1,0 +1,143 @@
+(* Smoke tests for the experiment harness: every runner must execute on
+   a miniature profile and produce structurally sane rows. Output is
+   swallowed into a devnull channel. *)
+
+let tiny_profile =
+  {
+    Experiments.Profile.name = "tiny";
+    scale_of = (fun _ -> 0.12);
+    max_paths = 150;
+    mc_samples = 200;
+    yield_samples = 60;
+    benches =
+      List.filter
+        (fun p ->
+          List.mem p.Circuit.Benchmarks.bench_name [ "s1196"; "s1423" ])
+        Circuit.Benchmarks.all;
+  }
+
+let devnull () = open_out Filename.null
+
+let test_table1_runner () =
+  let oc = devnull () in
+  let rows = Experiments.Table1.run ~oc tiny_profile in
+  close_out oc;
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      if r.Experiments.Table1.n_approx > r.Experiments.Table1.n_exact then
+        Alcotest.fail "approx larger than exact";
+      if r.Experiments.Table1.n_exact > r.Experiments.Table1.n_target then
+        Alcotest.fail "exact larger than target";
+      if r.Experiments.Table1.e1_pct < 0.0 then Alcotest.fail "negative e1";
+      if r.Experiments.Table1.e2_pct > r.Experiments.Table1.e1_pct +. 1e-9 then
+        Alcotest.fail "e2 above e1")
+    rows
+
+let test_table2_runner () =
+  let oc = devnull () in
+  let rows = Experiments.Table2.run ~oc tiny_profile in
+  close_out oc;
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "total = paths + segments"
+        (r.Experiments.Table2.hybrid_paths + r.Experiments.Table2.hybrid_segments)
+        r.Experiments.Table2.hybrid_total;
+      if r.Experiments.Table2.covered_gates > r.Experiments.Table2.gates then
+        Alcotest.fail "covered gates exceed gates")
+    rows
+
+let test_figure2_runner () =
+  let oc = devnull () in
+  let series = Experiments.Figure2.run ~oc tiny_profile in
+  close_out oc;
+  Alcotest.(check int) "two series" 2 (List.length series);
+  List.iter
+    (fun s ->
+      let v = s.Experiments.Figure2.values in
+      if Array.length v = 0 then Alcotest.fail "empty series";
+      Array.iteri
+        (fun i x ->
+          if x < 0.0 then Alcotest.fail "negative normalized value";
+          if i > 0 && x > v.(i - 1) +. 1e-12 then Alcotest.fail "series not sorted")
+        v;
+      if s.Experiments.Figure2.effective_rank > s.Experiments.Figure2.rank then
+        Alcotest.fail "effective rank above rank")
+    series;
+  (* the boosted-random series must decay slower *)
+  match series with
+  | [ a; b ] ->
+    Alcotest.(check bool) "3x random flattens the spectrum" true
+      (b.Experiments.Figure2.effective_rank >= a.Experiments.Figure2.effective_rank)
+  | _ -> Alcotest.fail "expected two series"
+
+let test_guardband_runner () =
+  let oc = devnull () in
+  let rows = Experiments.Guardband_exp.run ~oc tiny_profile in
+  close_out oc;
+  Alcotest.(check bool) "rows produced" true (rows <> []);
+  List.iter
+    (fun r ->
+      if r.Experiments.Guardband_exp.detection_rate < 0.95 then
+        Alcotest.failf "detection %.3f too low" r.Experiments.Guardband_exp.detection_rate)
+    rows
+
+let test_ablation_runners () =
+  let oc = devnull () in
+  let sched = Experiments.Ablation.run_schedule ~oc tiny_profile in
+  let etas = Experiments.Ablation.run_eta ~oc tiny_profile in
+  close_out oc;
+  List.iter
+    (fun r ->
+      if abs (r.Experiments.Ablation.linear_r - r.Experiments.Ablation.bisect_r) > 1 then
+        Alcotest.fail "schedules disagree";
+      if r.Experiments.Ablation.bisect_evals > r.Experiments.Ablation.linear_evals then
+        Alcotest.fail "bisection not cheaper")
+    sched;
+  let ranks = List.map (fun e -> e.Experiments.Ablation.effective_rank) etas in
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b && non_increasing (b :: rest)
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "eta sweep monotone" true (non_increasing ranks)
+
+let test_robustness_ssta_runner () =
+  let oc = devnull () in
+  let rows = Experiments.Robustness.run_ssta ~oc tiny_profile in
+  close_out oc;
+  let rec increasing f = function
+    | a :: b :: rest -> f a <= f b +. 1e-9 && increasing f (b :: rest)
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "ssta yields increase with T" true
+    (increasing (fun r -> r.Experiments.Robustness.ssta_yield) rows);
+  List.iter
+    (fun r ->
+      if Float.abs (r.Experiments.Robustness.ssta_yield
+                    -. r.Experiments.Robustness.mc_yield) > 0.15 then
+        Alcotest.failf "SSTA and MC yields diverge: %.3f vs %.3f"
+          r.Experiments.Robustness.ssta_yield r.Experiments.Robustness.mc_yield)
+    rows
+
+let test_profiles_resolvable () =
+  Alcotest.(check bool) "quick" true (Experiments.Profile.of_string "quick" <> None);
+  Alcotest.(check bool) "full" true (Experiments.Profile.of_string "full" <> None);
+  Alcotest.(check bool) "garbage" true (Experiments.Profile.of_string "nope" = None)
+
+let unit_tests =
+  [
+    ("experiments: table1 runner", test_table1_runner);
+    ("experiments: table2 runner", test_table2_runner);
+    ("experiments: figure2 runner", test_figure2_runner);
+    ("experiments: guardband runner", test_guardband_runner);
+    ("experiments: ablation runners", test_ablation_runners);
+    ("experiments: ssta validation runner", test_robustness_ssta_runner);
+    ("experiments: profile lookup", test_profiles_resolvable);
+  ]
+
+let suites =
+  [
+    ( "experiments",
+      List.map (fun (name, f) -> Alcotest.test_case name `Slow f) unit_tests );
+  ]

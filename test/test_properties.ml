@@ -1,0 +1,145 @@
+(* Cross-module property tests: paper invariants checked over random
+   circuits rather than one fixture. *)
+
+let make_pool seed gates =
+  let nl =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = gates; seed; depth = 8;
+        num_inputs = 10; num_outputs = 8 }
+  in
+  let model = Timing.Variation.make_model ~levels:3 () in
+  let dm = Timing.Delay_model.build nl model in
+  let t_cons = Timing.Delay_model.nominal_critical_delay dm in
+  let r = Timing.Path_extract.extract ~max_paths:400 dm ~t_cons ~yield_threshold:0.99 in
+  match r.Timing.Path_extract.paths with
+  | [] -> None
+  | paths -> Some (dm, t_cons, Timing.Paths.build dm paths)
+
+let prop_exact_selection_zero_error =
+  QCheck.Test.make ~count:12 ~name:"exact selection has ~zero analytic error"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      match make_pool seed 90 with
+      | None -> true
+      | Some (_, _, pool) ->
+        let sel =
+          Core.Select.exact ~a:(Timing.Paths.a_mat pool)
+            ~mu:(Timing.Paths.mu_paths pool) ()
+        in
+        sel.Core.Select.eps_r < 1e-6)
+
+let prop_rank_at_most_segments =
+  QCheck.Test.make ~count:12 ~name:"Lemma 1: rank(A) <= n_S on random circuits"
+    QCheck.(int_range 501 1000)
+    (fun seed ->
+      match make_pool seed 80 with
+      | None -> true
+      | Some (_, _, pool) ->
+        Linalg.Rank.of_mat (Timing.Paths.a_mat pool) <= Timing.Paths.num_segments pool)
+
+let prop_approx_never_exceeds_rank =
+  QCheck.Test.make ~count:10 ~name:"Algorithm 1 size never exceeds rank"
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      match make_pool seed 100 with
+      | None -> true
+      | Some (_, t_cons, pool) ->
+        let sel =
+          Core.Select.approximate ~a:(Timing.Paths.a_mat pool)
+            ~mu:(Timing.Paths.mu_paths pool) ~eps:0.05 ~t_cons ()
+        in
+        Array.length sel.Core.Select.indices <= sel.Core.Select.rank)
+
+let prop_analytic_bound_holds_on_mc =
+  QCheck.Test.make ~count:6 ~name:"per-path analytic sigma bounds MC deviations"
+    QCheck.(int_range 1 200)
+    (fun seed ->
+      match make_pool seed 90 with
+      | None -> true
+      | Some (_, t_cons, pool) ->
+        let sel =
+          Core.Select.approximate ~a:(Timing.Paths.a_mat pool)
+            ~mu:(Timing.Paths.mu_paths pool) ~eps:0.05 ~t_cons ()
+        in
+        let p = sel.Core.Select.predictor in
+        let mc = Timing.Monte_carlo.sample (Rng.create (seed + 9000)) pool ~n:400 in
+        let d = Timing.Monte_carlo.path_delays mc in
+        let rep = Core.Predictor.rep_indices p in
+        let rem = Core.Predictor.rem_indices p in
+        let pred = Core.Predictor.predict_all p ~measured:(Linalg.Mat.select_cols d rep) in
+        let sigmas = Core.Predictor.error_sigmas p in
+        (* every observed |error| must stay within ~4.5 sigma of the
+           analytic model (400 x few-hundred samples; 4.5 sigma keeps the
+           false-failure odds negligible while still catching a wrong
+           sigma model) *)
+        let ok = ref true in
+        Array.iteri
+          (fun j rem_j ->
+            for k = 0 to 399 do
+              let e = Float.abs (Linalg.Mat.get pred k j -. Linalg.Mat.get d k rem_j) in
+              if e > (4.5 *. sigmas.(j)) +. 1e-9 then ok := false
+            done)
+          rem;
+        !ok)
+
+let prop_ssta_mean_dominates_paths =
+  QCheck.Test.make ~count:8 ~name:"SSTA circuit mean >= every path mean"
+    QCheck.(int_range 1 400)
+    (fun seed ->
+      match make_pool seed 70 with
+      | None -> true
+      | Some (dm, _, pool) ->
+        let r = Timing.Ssta.analyze dm in
+        let mean = r.Timing.Ssta.circuit_delay.Timing.Ssta.mean in
+        let mu = Timing.Paths.mu_paths pool in
+        Array.for_all (fun m -> mean >= m -. 1e-6) mu)
+
+let prop_hybrid_bounded =
+  QCheck.Test.make ~count:5 ~name:"hybrid measurements bounded by r1 + n_S"
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      match make_pool seed 80 with
+      | None -> true
+      | Some (_, t_cons, pool) ->
+        let h =
+          Core.Hybrid.run ~a:(Timing.Paths.a_mat pool) ~g:(Timing.Paths.g_mat pool)
+            ~sigma:(Timing.Paths.sigma_mat pool) ~mu:(Timing.Paths.mu_paths pool)
+            ~eps:0.08 ~t_cons ()
+        in
+        Core.Hybrid.total_measurements h <= h.Core.Hybrid.r1 + Timing.Paths.num_segments pool)
+
+let prop_extraction_paths_end_at_outputs =
+  QCheck.Test.make ~count:10 ~name:"every extracted path ends at a primary output"
+    QCheck.(int_range 1 600)
+    (fun seed ->
+      match make_pool seed 80 with
+      | None -> true
+      | Some (dm, _, pool) ->
+        let nl = Timing.Delay_model.netlist dm in
+        let po = Hashtbl.create 32 in
+        Array.iter
+          (fun o -> Hashtbl.replace po (Circuit.Netlist.encode_signal nl o) ())
+          (Circuit.Netlist.outputs nl);
+        let ok = ref true in
+        for i = 0 to Timing.Paths.num_paths pool - 1 do
+          let p = Timing.Paths.path pool i in
+          let last = p.Timing.Path_extract.gates.(Array.length p.Timing.Path_extract.gates - 1) in
+          let code = Circuit.Netlist.encode_signal nl (Circuit.Netlist.Gate_out last) in
+          if not (Hashtbl.mem po code) then ok := false
+        done;
+        !ok)
+
+let suites =
+  [
+    ( "paper-invariants",
+      List.map (fun t -> QCheck_alcotest.to_alcotest t)
+        [
+          prop_exact_selection_zero_error;
+          prop_rank_at_most_segments;
+          prop_approx_never_exceeds_rank;
+          prop_analytic_bound_holds_on_mc;
+          prop_ssta_mean_dominates_paths;
+          prop_hybrid_bounded;
+          prop_extraction_paths_end_at_outputs;
+        ] );
+  ]

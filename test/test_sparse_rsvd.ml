@@ -1,0 +1,192 @@
+(* Tests for the CSR sparse matrices and the randomized SVD. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let lcg_state = ref 99
+
+let lcg_float () =
+  lcg_state := ((!lcg_state * 1103515245) + 12345) land 0x3FFFFFFF;
+  (float_of_int !lcg_state /. float_of_int 0x3FFFFFFF *. 2.0) -. 1.0
+
+let random_sparse_dense m n density =
+  Linalg.Mat.init m n (fun _ _ ->
+      let v = lcg_float () in
+      if Float.abs v < 1.0 -. density then 0.0 else v)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse *)
+
+let test_sparse_roundtrip () =
+  let d = random_sparse_dense 7 9 0.3 in
+  let s = Linalg.Sparse.of_dense d in
+  Alcotest.(check bool) "to_dense inverts of_dense" true
+    (Linalg.Mat.equal d (Linalg.Sparse.to_dense s));
+  Alcotest.(check bool) "equal_dense agrees" true (Linalg.Sparse.equal_dense s d)
+
+let test_sparse_of_rows_duplicates () =
+  let s = Linalg.Sparse.of_rows 3 [| [ (0, 1.0); (0, 2.0); (2, 5.0) ]; [] |] in
+  check_close "summed duplicate" 3.0 (Linalg.Sparse.get s 0 0);
+  check_close "other entry" 5.0 (Linalg.Sparse.get s 0 2);
+  check_close "empty row" 0.0 (Linalg.Sparse.get s 1 1);
+  Alcotest.(check int) "nnz" 2 (Linalg.Sparse.nnz s)
+
+let test_sparse_apply () =
+  let d = random_sparse_dense 6 8 0.4 in
+  let s = Linalg.Sparse.of_dense d in
+  let x = Array.init 8 (fun i -> float_of_int (i - 3)) in
+  Alcotest.(check bool) "apply matches dense" true
+    (Linalg.Vec.equal ~tol:1e-12 (Linalg.Mat.apply d x) (Linalg.Sparse.apply s x));
+  let y = Array.init 6 (fun i -> float_of_int (2 * i) -. 5.0) in
+  Alcotest.(check bool) "apply_t matches dense" true
+    (Linalg.Vec.equal ~tol:1e-12 (Linalg.Mat.apply_t d y) (Linalg.Sparse.apply_t s y))
+
+let test_sparse_mul_dense_nt () =
+  let a = random_sparse_dense 5 7 0.4 in
+  let s = Linalg.Sparse.of_dense a in
+  let x = Linalg.Mat.init 4 7 (fun i j -> float_of_int ((i * 7) + j) /. 10.0) in
+  Alcotest.(check bool) "X A^T matches dense" true
+    (Linalg.Mat.equal ~tol:1e-12 (Linalg.Mat.mul_nt x a) (Linalg.Sparse.mul_dense_nt x s))
+
+let test_sparse_transpose () =
+  let d = random_sparse_dense 5 6 0.4 in
+  let s = Linalg.Sparse.of_dense d in
+  Alcotest.(check bool) "transpose matches dense" true
+    (Linalg.Sparse.equal_dense (Linalg.Sparse.transpose s) (Linalg.Mat.transpose d))
+
+let test_sparse_row_norms () =
+  let d = random_sparse_dense 5 6 0.5 in
+  let s = Linalg.Sparse.of_dense d in
+  Alcotest.(check bool) "row norms match" true
+    (Linalg.Vec.equal ~tol:1e-12 (Linalg.Mat.row_norms2 d) (Linalg.Sparse.row_norms2 s))
+
+let test_sparse_density () =
+  let s = Linalg.Sparse.of_rows 4 [| [ (0, 1.0) ]; [ (1, 1.0); (2, 1.0) ] |] in
+  check_close "density" (3.0 /. 8.0) (Linalg.Sparse.density s)
+
+let test_sparse_tol_drop () =
+  let d = Linalg.Mat.of_arrays [| [| 1.0; 1e-14 |] |] in
+  let s = Linalg.Sparse.of_dense ~tol:1e-12 d in
+  Alcotest.(check int) "tiny entry dropped" 1 (Linalg.Sparse.nnz s)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized SVD *)
+
+let test_rsvd_low_rank_exact () =
+  (* on an exactly rank-3 matrix, rsvd with rank 3 recovers the spectrum *)
+  (* per-column frequencies keep the factors genuinely full rank
+     (sin (i*k + j) alone spans only a 2-dimensional space) *)
+  let b =
+    Linalg.Mat.init 30 3 (fun i j ->
+        sin (float_of_int i *. (0.37 +. (0.21 *. float_of_int j))))
+  in
+  let c =
+    Linalg.Mat.init 3 20 (fun i j ->
+        cos (float_of_int j *. (0.23 +. (0.31 *. float_of_int i))) /. 3.0)
+  in
+  let a = Linalg.Mat.mul b c in
+  let exact = Linalg.Svd.factor a in
+  let approx = Linalg.Rsvd.factor ~rank:3 ~seed:7 a in
+  for i = 0 to 2 do
+    check_close ~tol:1e-6 (Printf.sprintf "s%d" i) exact.Linalg.Svd.s.(i)
+      approx.Linalg.Rsvd.s.(i)
+  done
+
+let test_rsvd_leading_values_close () =
+  (* on a full-rank matrix with decaying spectrum, the leading values
+     are captured to a few percent *)
+  let a =
+    Linalg.Mat.init 40 25 (fun i j ->
+        exp (-0.25 *. float_of_int (min i j)) *. cos (float_of_int ((i * 7) + j)))
+  in
+  let exact = Linalg.Svd.factor a in
+  let approx = Linalg.Rsvd.factor ~rank:5 ~seed:3 a in
+  for i = 0 to 4 do
+    let rel =
+      Float.abs (exact.Linalg.Svd.s.(i) -. approx.Linalg.Rsvd.s.(i))
+      /. Float.max 1e-12 exact.Linalg.Svd.s.(i)
+    in
+    if rel > 0.05 then
+      Alcotest.failf "s%d off by %.1f%%" i (100.0 *. rel)
+  done
+
+let test_rsvd_orthonormal_u () =
+  let a =
+    Linalg.Mat.init 20 15 (fun i j ->
+        sin (float_of_int i *. (0.51 +. (0.07 *. float_of_int j)))
+        +. (0.3 *. cos (float_of_int ((i * 2) + (j * j)))))
+  in
+  let approx = Linalg.Rsvd.factor ~rank:6 ~seed:9 a in
+  let g = Linalg.Mat.mul_tn approx.Linalg.Rsvd.u approx.Linalg.Rsvd.u in
+  Alcotest.(check bool) "U^T U = I" true
+    (Linalg.Mat.equal ~tol:1e-8 g (Linalg.Mat.identity 6))
+
+let test_rsvd_deterministic () =
+  let a = Linalg.Mat.init 15 10 (fun i j -> cos (float_of_int ((3 * i) + j))) in
+  let r1 = Linalg.Rsvd.factor ~rank:4 ~seed:5 a in
+  let r2 = Linalg.Rsvd.factor ~rank:4 ~seed:5 a in
+  Alcotest.(check bool) "same seed, same result" true
+    (Linalg.Vec.equal r1.Linalg.Rsvd.s r2.Linalg.Rsvd.s)
+
+let test_rsvd_subset_selection_compatible () =
+  (* Algorithm 2 driven by the randomized factorization picks rows that
+     still form a well-conditioned basis *)
+  let b =
+    Linalg.Mat.init 25 4 (fun i j ->
+        sin (float_of_int i *. (0.29 +. (0.17 *. float_of_int j))))
+  in
+  let c =
+    Linalg.Mat.init 4 12 (fun i j ->
+        cos (float_of_int j *. (0.41 +. (0.13 *. float_of_int i))))
+  in
+  let a = Linalg.Mat.mul b c in
+  let svd = Linalg.Rsvd.to_svd (Linalg.Rsvd.factor ~rank:4 ~seed:11 a) in
+  let rows = Core.Subset_select.rows_from_svd svd ~r:4 in
+  let sub = Linalg.Mat.select_rows a rows in
+  Alcotest.(check int) "independent rows" 4 (Linalg.Rank.of_mat sub)
+
+let prop_rsvd_values_below_exact =
+  QCheck.Test.make ~count:25
+    ~name:"rsvd singular values never exceed the exact ones (much)"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let a =
+        Linalg.Mat.init 18 12 (fun i j ->
+            sin (float_of_int ((seed * 31) + (i * 5) + j)))
+      in
+      let exact = Linalg.Svd.factor a in
+      let approx = Linalg.Rsvd.factor ~rank:4 ~seed a in
+      let ok = ref true in
+      Array.iteri
+        (fun i s ->
+          if s > exact.Linalg.Svd.s.(i) *. (1.0 +. 1e-8) +. 1e-10 then ok := false)
+        approx.Linalg.Rsvd.s;
+      !ok)
+
+let unit_tests =
+  [
+    ("sparse: dense roundtrip", test_sparse_roundtrip);
+    ("sparse: of_rows merges duplicates", test_sparse_of_rows_duplicates);
+    ("sparse: apply / apply_t", test_sparse_apply);
+    ("sparse: X A^T kernel", test_sparse_mul_dense_nt);
+    ("sparse: transpose", test_sparse_transpose);
+    ("sparse: row norms", test_sparse_row_norms);
+    ("sparse: density", test_sparse_density);
+    ("sparse: tolerance drop", test_sparse_tol_drop);
+    ("rsvd: exact on low rank", test_rsvd_low_rank_exact);
+    ("rsvd: leading values close", test_rsvd_leading_values_close);
+    ("rsvd: orthonormal U", test_rsvd_orthonormal_u);
+    ("rsvd: deterministic", test_rsvd_deterministic);
+    ("rsvd: feeds Algorithm 2", test_rsvd_subset_selection_compatible);
+  ]
+
+let property_tests =
+  List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_rsvd_values_below_exact ]
+
+let suites =
+  [
+    ( "sparse+rsvd",
+      List.map (fun (name, f) -> Alcotest.test_case name `Quick f) unit_tests
+      @ property_tests );
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the structural Verilog reader/writer. *)
+
+let sample =
+  {|
+// a small mixed netlist
+module top (a, b, z);
+  input a, b;
+  output z;
+  wire w1, w2, q;
+  NAND2 u1 (.Z(w1), .A(a), .B(b));
+  not u2 (w2, w1);
+  DFF r1 (.Q(q), .D(w2));
+  AND2 u3 (z, q, w1);
+endmodule
+|}
+
+let test_parse_basic () =
+  let nl = Circuit.Verilog_io.parse ~name:"t" sample in
+  (* a, b + pseudo-input q; z + pseudo-output w2 *)
+  Alcotest.(check int) "inputs" 3 (Circuit.Netlist.num_inputs nl);
+  Alcotest.(check int) "outputs" 2 (Array.length (Circuit.Netlist.outputs nl));
+  Alcotest.(check int) "gates" 3 (Circuit.Netlist.num_gates nl)
+
+let test_named_vs_positional () =
+  let named = "module m (a, z);\n input a;\n output z;\n INV u1 (.Z(z), .A(a));\nendmodule" in
+  let positional = "module m (a, z);\n input a;\n output z;\n INV u1 (z, a);\nendmodule" in
+  let n1 = Circuit.Verilog_io.parse ~name:"m" named in
+  let n2 = Circuit.Verilog_io.parse ~name:"m" positional in
+  Alcotest.(check int) "same gates" (Circuit.Netlist.num_gates n1)
+    (Circuit.Netlist.num_gates n2)
+
+let test_wide_primitive () =
+  let text =
+    "module m (a, b, c, d, z);\n input a, b, c, d;\n output z;\n\
+     nand u1 (z, a, b, c, d);\nendmodule"
+  in
+  let nl = Circuit.Verilog_io.parse ~name:"m" text in
+  Alcotest.(check int) "4-input nand decomposed" 3 (Circuit.Netlist.num_gates nl)
+
+let test_block_comments_and_escaped_ids () =
+  let text =
+    "module m (a, z);\n /* multi\nline */ input a;\n output z;\n\
+     INV u1 (z, a);\nendmodule"
+  in
+  let nl = Circuit.Verilog_io.parse ~name:"m" text in
+  Alcotest.(check int) "one gate" 1 (Circuit.Netlist.num_gates nl)
+
+let test_errors () =
+  let cases =
+    [
+      ("bus rejected", "module m (a);\n input [3:0] a;\nendmodule");
+      ("unknown cell", "module m (a, z);\n input a;\n output z;\n FROB u1 (z, a);\nendmodule");
+      ("no endmodule", "module m (a);\n input a;");
+      ("no output pin", "module m (a, z);\n input a;\n output z;\n INV u1 (.A(a), .B(z));\nendmodule");
+    ]
+  in
+  List.iter
+    (fun (label, text) ->
+      match Circuit.Verilog_io.parse ~name:"m" text with
+      | (_ : Circuit.Netlist.t) -> Alcotest.failf "%s: parse succeeded" label
+      | exception Circuit.Verilog_io.Parse_error _ -> ())
+    cases
+
+let test_print_parse_roundtrip () =
+  let nl =
+    Circuit.Generator.generate { Circuit.Generator.default with num_gates = 80; seed = 44 }
+  in
+  let text = Circuit.Verilog_io.print nl in
+  let nl2 = Circuit.Verilog_io.parse ~name:"rt" text in
+  Alcotest.(check int) "gates preserved" (Circuit.Netlist.num_gates nl)
+    (Circuit.Netlist.num_gates nl2);
+  Alcotest.(check int) "depth preserved" (Circuit.Netlist.depth nl)
+    (Circuit.Netlist.depth nl2);
+  Alcotest.(check int) "inputs preserved" (Circuit.Netlist.num_inputs nl)
+    (Circuit.Netlist.num_inputs nl2)
+
+let test_full_pipeline_on_verilog () =
+  let nl =
+    Circuit.Generator.generate { Circuit.Generator.default with num_gates = 120; seed = 45 }
+  in
+  let reparsed = Circuit.Verilog_io.parse ~name:"v" (Circuit.Verilog_io.print nl) in
+  let model = Timing.Variation.make_model ~levels:3 () in
+  let setup = Core.Pipeline.prepare ~netlist:reparsed ~model ~yield_samples:120 () in
+  let sel = Core.Pipeline.approximate_selection setup ~eps:0.05 in
+  Alcotest.(check bool) "selection works on parsed verilog" true
+    (Array.length sel.Core.Select.indices > 0)
+
+let prop_verilog_roundtrip =
+  QCheck.Test.make ~count:10 ~name:"verilog print/parse preserves structure"
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      let nl =
+        Circuit.Generator.generate
+          { Circuit.Generator.default with num_gates = 50; seed }
+      in
+      let nl2 = Circuit.Verilog_io.parse ~name:"rt" (Circuit.Verilog_io.print nl) in
+      Circuit.Netlist.num_gates nl2 = Circuit.Netlist.num_gates nl
+      && Circuit.Netlist.depth nl2 = Circuit.Netlist.depth nl)
+
+let unit_tests =
+  [
+    ("verilog: parse with DFF cut", test_parse_basic);
+    ("verilog: named = positional", test_named_vs_positional);
+    ("verilog: wide primitive decomposed", test_wide_primitive);
+    ("verilog: comments", test_block_comments_and_escaped_ids);
+    ("verilog: errors", test_errors);
+    ("verilog: print/parse roundtrip", test_print_parse_roundtrip);
+    ("verilog: feeds the pipeline", test_full_pipeline_on_verilog);
+  ]
+
+let suites =
+  [
+    ( "verilog",
+      List.map (fun (name, f) -> Alcotest.test_case name `Quick f) unit_tests
+      @ [ QCheck_alcotest.to_alcotest prop_verilog_roundtrip ] );
+  ]
