@@ -1,0 +1,25 @@
+# Convenience wrappers over dune; `make smoke` is the CI fast path.
+
+.PHONY: all build test smoke bench doc clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Fast CI gate: the robustness-layer test suites plus one faulted
+# end-to-end selection on the committed demo circuit (see ./dune).
+smoke:
+	dune build @smoke
+
+bench:
+	dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

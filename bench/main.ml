@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|figure2|guardband|ablation|robustness|baselines|micro|all] [--full]";
+    "usage: main.exe [table1|table2|figure2|guardband|ablation|robustness|baselines|faults|micro|all] [--full]";
   exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -140,6 +140,10 @@ let () =
     banner "E12 -- baselines from the related work";
     ignore (Experiments.Baselines_exp.run profile)
   in
+  let run_faults () =
+    banner "E13 -- fault-tolerant prediction under dirty silicon data";
+    ignore (Experiments.Faults_exp.run profile)
+  in
   (match what with
    | "table1" -> run_table1 ()
    | "table2" -> run_table2 ()
@@ -148,6 +152,7 @@ let () =
    | "ablation" -> run_ablation ()
    | "robustness" -> run_robustness ()
    | "baselines" -> run_baselines ()
+   | "faults" -> run_faults ()
    | "micro" -> run_micro ()
    | "all" ->
      run_table1 ();
@@ -157,6 +162,7 @@ let () =
      run_ablation ();
      run_robustness ();
      run_baselines ();
+     run_faults ();
      banner "micro-benchmarks";
      run_micro ()
    | _ -> usage ());

@@ -10,6 +10,21 @@
 
 open Cmdliner
 
+(* Typed-error boundary: anything the Errors layer recognizes becomes a
+   one-line message on stderr plus a sysexits-style status (64 usage,
+   65 data, 66 missing input, 70 numerical) instead of a backtrace. *)
+let handle f =
+  let fail e =
+    Printf.eprintf "pathsel: %s\n" (Core.Errors.to_string e);
+    exit (Core.Errors.exit_code e)
+  in
+  try f () with
+  | Core.Errors.Error e -> fail e
+  | exn ->
+    (match Core.Errors.of_exn ~file:"<input>" exn with
+     | Some e -> fail e
+     | None -> raise exn)
+
 (* ---------------- shared arguments ---------------- *)
 
 let seed_arg =
@@ -57,7 +72,29 @@ let circuit_arg =
            ~doc:"A .bench file path, or a preset name (s1196..s38417). Omitted: a \
                  default synthetic circuit.")
 
-let load_circuit ~scale ~seed = function
+let lenient_arg =
+  Arg.(value & vflag false
+         [ (true,
+            info [ "lenient" ]
+              ~doc:"Skip unparseable netlist lines and gates with undefined \
+                    inputs, with one warning per skipped construct on stderr.");
+           (false, info [ "strict" ] ~doc:"Reject any malformed input (default).") ])
+
+let faults_conv =
+  Arg.conv'
+    ( (fun s ->
+        match Timing.Faults.of_string s with Ok sp -> Ok sp | Error m -> Error m),
+      fun ppf sp -> Format.fprintf ppf "%s" (Timing.Faults.to_string sp) )
+
+let faults_arg =
+  Arg.(value & opt (some faults_conv) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Inject measurement faults before prediction and compare the \
+                 robust predictor against the naive one, e.g. \
+                 $(b,dropout=0.1,outliers=0.01). Fields: dropout, die-dropout, \
+                 outliers, outlier-scale, stuck, stuck-code, drift.")
+
+let load_circuit ~scale ~seed ~lenient = function
   | None ->
     Circuit.Generator.generate { Circuit.Generator.default with seed }
   | Some spec ->
@@ -65,10 +102,21 @@ let load_circuit ~scale ~seed = function
      | Some preset -> Circuit.Benchmarks.netlist ~scale preset
      | None ->
        if Sys.file_exists spec then begin
-         if Filename.check_suffix spec ".v" then Circuit.Verilog_io.parse_file spec
-         else Circuit.Bench_io.parse_file spec
+         if Filename.check_suffix spec ".v" then
+           match Core.Errors.parse_verilog_file spec with
+           | Ok nl -> nl
+           | Error e -> Core.Errors.raise_error e
+         else
+           match Core.Errors.parse_bench_file ~lenient spec with
+           | Ok (nl, warnings) ->
+             List.iter (Printf.eprintf "pathsel: warning: %s\n") warnings;
+             nl
+           | Error e -> Core.Errors.raise_error e
        end
-       else failwith (Printf.sprintf "unknown circuit %S (not a preset, not a file)" spec))
+       else
+         Core.Errors.raise_error
+           (Core.Errors.Invalid_input
+              (Printf.sprintf "unknown circuit %S (not a preset, not a file)" spec)))
 
 let load_liberty = function
   | None -> None
@@ -77,8 +125,9 @@ let load_liberty = function
   | Some path ->
     Some (Circuit.Liberty.Library.of_group (Circuit.Liberty.parse_file path))
 
-let prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths ~liberty =
-  let netlist = load_circuit ~scale ~seed circuit in
+let prepare ?(lenient = false) ~circuit ~scale ~seed ~levels ~random_boost ~tscale
+    ~max_paths ~liberty () =
+  let netlist = load_circuit ~scale ~seed ~lenient circuit in
   let model = Timing.Variation.make_model ~levels ~random_boost () in
   let setup =
     match load_liberty liberty with
@@ -124,9 +173,11 @@ let select_cmd =
     Arg.(value & flag & info [ "exact" ] ~doc:"Exact selection (r = rank A).")
   in
   let run circuit scale seed levels random_boost tscale max_paths eps exact liberty
-      report =
+      report lenient faults =
+   handle @@ fun () ->
     let setup =
-      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths ~liberty
+      prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
+        ~max_paths ~liberty ()
     in
     let sel =
       if exact then Core.Pipeline.exact_selection setup
@@ -145,9 +196,63 @@ let select_cmd =
       sel.Core.Select.rank sel.Core.Select.effective_rank
       (Array.length sel.Core.Select.indices)
       (100.0 *. sel.Core.Select.eps_r);
-    let m = Core.Pipeline.evaluate_selection setup sel in
-    Printf.printf "Monte Carlo: e1 = %.2f%%  e2 = %.2f%%\n" (100.0 *. m.Core.Evaluate.e1)
-      (100.0 *. m.Core.Evaluate.e2);
+    let every_path_selected =
+      Array.length (Core.Predictor.rem_indices sel.Core.Select.predictor) = 0
+    in
+    if every_path_selected then
+      print_endline "every target path is measured directly; nothing to predict"
+    else begin
+      let m = Core.Pipeline.evaluate_selection setup sel in
+      Printf.printf "Monte Carlo: e1 = %.2f%%  e2 = %.2f%%\n"
+        (100.0 *. m.Core.Evaluate.e1) (100.0 *. m.Core.Evaluate.e2)
+    end;
+    (match faults with
+     | Some _ when every_path_selected -> ()
+     | None -> ()
+     | Some spec ->
+       Timing.Faults.validate spec;
+       let pool = setup.Core.Pipeline.pool in
+       let robust =
+         Core.Robust.of_selection ~a:(Timing.Paths.a_mat pool)
+           ~mu:(Timing.Paths.mu_paths pool) sel
+       in
+       let p = sel.Core.Select.predictor in
+       let rep = Core.Predictor.rep_indices p in
+       let mc = Core.Pipeline.draw setup in
+       let d = Timing.Monte_carlo.path_delays mc in
+       let truth = Linalg.Mat.select_cols d (Core.Predictor.rem_indices p) in
+       let inj =
+         Timing.Faults.inject spec (Rng.create (seed + 1))
+           (Linalg.Mat.select_cols d rep)
+       in
+       let stats = inj.Timing.Faults.stats in
+       Printf.printf
+         "faults [%s]: %d/%d entries missing, %d dies dead, %d outliers, %d stuck\n"
+         (Timing.Faults.to_string spec) stats.Timing.Faults.missing_entries
+         stats.Timing.Faults.total_entries stats.Timing.Faults.dropped_dies
+         stats.Timing.Faults.outlier_entries stats.Timing.Faults.stuck_entries;
+       let pr = Core.Robust.predict_all robust ~measured:inj.Timing.Faults.data in
+       let rm = Core.Robust.metrics pr ~truth in
+       Printf.printf
+         "robust:  e1 = %.2f%%  e2 = %.2f%% (screened %d outliers, %d reduced \
+          solves, %d ridge, %d dies from mean)\n"
+         (100.0 *. rm.Core.Evaluate.e1) (100.0 *. rm.Core.Evaluate.e2)
+         pr.Core.Robust.screened.Core.Robust.outliers pr.Core.Robust.resolves
+         pr.Core.Robust.ridge_fallbacks pr.Core.Robust.dead_dies;
+       (match
+          try
+            let predicted =
+              Core.Predictor.predict_all p ~measured:inj.Timing.Faults.data
+            in
+            Some (Core.Evaluate.of_predictions ~truth ~predicted)
+          with Core.Errors.Error (Core.Errors.Bad_data _) -> None
+        with
+        | Some nm ->
+          Printf.printf "naive:   e1 = %.2f%%  e2 = %.2f%%\n"
+            (100.0 *. nm.Core.Evaluate.e1) (100.0 *. nm.Core.Evaluate.e2)
+        | None ->
+          Printf.printf
+            "naive:   failed (non-finite predictions from missing entries)\n"));
     Printf.printf "representative path indices: %s\n"
       (String.concat " "
          (Array.to_list (Array.map string_of_int sel.Core.Select.indices)))
@@ -156,14 +261,17 @@ let select_cmd =
     (Cmd.info "select" ~doc:"Representative path selection (Algorithm 1).")
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
-          $ liberty_arg $ report_arg)
+          $ liberty_arg $ report_arg $ lenient_arg $ faults_arg)
 
 (* ---------------- hybrid ---------------- *)
 
 let hybrid_cmd =
-  let run circuit scale seed levels random_boost tscale max_paths eps liberty report =
+  let run circuit scale seed levels random_boost tscale max_paths eps liberty report
+      lenient =
+   handle @@ fun () ->
     let setup =
-      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths ~liberty
+      prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
+        ~max_paths ~liberty ()
     in
     let h = Core.Pipeline.hybrid_selection setup ~eps in
     (match report with
@@ -191,7 +299,7 @@ let hybrid_cmd =
     (Cmd.info "hybrid" ~doc:"Hybrid path/segment selection (Algorithm 3).")
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.08
-          $ liberty_arg $ report_arg)
+          $ liberty_arg $ report_arg $ lenient_arg)
 
 (* ---------------- spectrum ---------------- *)
 
@@ -199,10 +307,11 @@ let spectrum_cmd =
   let count =
     Arg.(value & opt int 30 & info [ "count" ] ~doc:"Singular values to print.")
   in
-  let run circuit scale seed levels random_boost tscale max_paths count =
+  let run circuit scale seed levels random_boost tscale max_paths count lenient =
+   handle @@ fun () ->
     let setup =
-      prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths
-        ~liberty:None
+      prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
+        ~max_paths ~liberty:None ()
     in
     let svd = Linalg.Svd.factor (Timing.Paths.a_mat setup.Core.Pipeline.pool) in
     let norm = Core.Effective_rank.normalized_spectrum svd.Linalg.Svd.s in
@@ -215,13 +324,14 @@ let spectrum_cmd =
   Cmd.v
     (Cmd.info "spectrum" ~doc:"Normalized singular values of A (Figure 2 data).")
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
-          $ random_boost_arg $ tscale_arg $ max_paths_arg $ count)
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ count $ lenient_arg)
 
 (* ---------------- sdf ---------------- *)
 
 let sdf_cmd =
-  let run circuit scale seed liberty =
-    let netlist = load_circuit ~scale ~seed circuit in
+  let run circuit scale seed liberty lenient =
+   handle @@ fun () ->
+    let netlist = load_circuit ~scale ~seed ~lenient circuit in
     let lib =
       match load_liberty (Some (Option.value ~default:"builtin" liberty)) with
       | Some l -> l
@@ -233,7 +343,7 @@ let sdf_cmd =
   Cmd.v
     (Cmd.info "sdf"
        ~doc:"Run the NLDM delay calculation and emit an SDF 3.0 annotation on stdout.")
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ liberty_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ liberty_arg $ lenient_arg)
 
 (* ---------------- diagnose ---------------- *)
 
@@ -245,9 +355,10 @@ let diagnose_cmd =
     Arg.(value & opt int 8 & info [ "top" ] ~doc:"Attributions to print.")
   in
   let run circuit scale seed levels random_boost tscale max_paths die_seed top =
+   handle @@ fun () ->
     let setup =
       prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths
-        ~liberty:None
+        ~liberty:None ()
     in
     let sel = Core.Pipeline.exact_selection setup in
     let pool = setup.Core.Pipeline.pool in
@@ -317,12 +428,17 @@ let ablation_cmd =
   experiment_cmd "ablation" "Run the E5/E6 design ablations." (fun p ->
       Experiments.Ablation.run p)
 
+let faults_cmd =
+  experiment_cmd "faults"
+    "Run the E13 fault-tolerance experiment (dropout/outlier sweep)." (fun p ->
+      handle (fun () -> ignore (Experiments.Faults_exp.run p)))
+
 let main =
   Cmd.group
     (Cmd.info "pathsel" ~version:"1.0.0"
        ~doc:"Representative path selection for post-silicon timing prediction \
              (Xie & Davoodi, DAC 2010).")
     [ generate_cmd; select_cmd; hybrid_cmd; spectrum_cmd; sdf_cmd; diagnose_cmd;
-      table1_cmd; table2_cmd; figure2_cmd; guardband_cmd; ablation_cmd ]
+      table1_cmd; table2_cmd; figure2_cmd; guardband_cmd; ablation_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -86,10 +86,28 @@ let top_cell_for_wide lineno fname =
   | "NOR" -> Cell.Nor2
   | f -> fail lineno "cannot decompose wide %s" f
 
-let parse ~name text =
+let parse_impl ~lenient ~name text =
+  let warnings = ref [] in
+  let warn lineno fmt =
+    Printf.ksprintf
+      (fun s ->
+        warnings :=
+          (if lineno > 0 then Printf.sprintf "%s:%d: %s" name lineno s
+           else Printf.sprintf "%s: %s" name s)
+          :: !warnings)
+      fmt
+  in
   let lines = String.split_on_char '\n' text in
   let raw =
-    List.mapi (fun i l -> (i + 1, lex_line (i + 1) l)) lines
+    List.mapi
+      (fun i l ->
+        let lineno = i + 1 in
+        match lex_line lineno l with
+        | parsed -> (lineno, parsed)
+        | exception Parse_error (_, msg) when lenient ->
+          warn lineno "skipping unparseable line (%s)" msg;
+          (lineno, None))
+      lines
     |> List.filter_map (fun (i, l) -> Option.map (fun l -> (i, l)) l)
   in
   (* First pass: collect inputs, outputs, and assignments; DFF outputs
@@ -106,7 +124,9 @@ let parse ~name text =
           | [ d ] ->
             inputs := lhs :: !inputs;
             outputs := d :: !outputs
-          | _ -> fail lineno "DFF must have exactly one input"
+          | _ ->
+            if lenient then warn lineno "skipping DFF %s: expected one input" lhs
+            else fail lineno "DFF must have exactly one input"
         end
         else assigns := (lineno, lhs, fname, args) :: !assigns)
     raw;
@@ -119,24 +139,59 @@ let parse ~name text =
   let def_of = Hashtbl.create 64 in
   List.iter (fun ((_, lhs, _, _) as a) -> Hashtbl.replace def_of lhs a) assigns;
   let emitted = Hashtbl.create 64 in
+  let skipped = Hashtbl.create 16 in
   let ordered = ref [] in
   let visiting = Hashtbl.create 16 in
   let rec emit lhs =
-    if not (Hashtbl.mem emitted lhs) && not (Hashtbl.mem input_index lhs) then begin
+    (* returns true when lhs resolves to a usable signal *)
+    if Hashtbl.mem emitted lhs || Hashtbl.mem input_index lhs then true
+    else if Hashtbl.mem skipped lhs then false
+    else begin
       if Hashtbl.mem visiting lhs then
         raise (Parse_error (0, Printf.sprintf "combinational cycle through %s" lhs));
       match Hashtbl.find_opt def_of lhs with
-      | None -> raise (Parse_error (0, Printf.sprintf "undefined signal %s" lhs))
-      | Some ((_, _, _, args) as a) ->
+      | None ->
+        if lenient then begin
+          warn 0 "undefined signal %s" lhs;
+          Hashtbl.add skipped lhs ();
+          false
+        end
+        else raise (Parse_error (0, Printf.sprintf "undefined signal %s" lhs))
+      | Some ((lineno, _, _, args) as a) ->
         Hashtbl.add visiting lhs ();
-        List.iter emit args;
+        let ok = List.fold_left (fun acc arg -> emit arg && acc) true args in
         Hashtbl.remove visiting lhs;
-        Hashtbl.add emitted lhs ();
-        ordered := a :: !ordered
+        if ok then begin
+          Hashtbl.add emitted lhs ();
+          ordered := a :: !ordered;
+          true
+        end
+        else begin
+          (* only reachable in lenient mode: strict emit raises *)
+          warn lineno "skipping %s: depends on an undefined signal" lhs;
+          Hashtbl.add skipped lhs ();
+          false
+        end
     end
   in
-  List.iter (fun (_, lhs, _, _) -> emit lhs) assigns;
-  List.iter (fun o -> if not (Hashtbl.mem input_index o) then emit o) outputs;
+  List.iter (fun (_, lhs, _, _) -> ignore (emit lhs)) assigns;
+  let outputs =
+    List.filter
+      (fun o ->
+        if Hashtbl.mem input_index o then true
+        else begin
+          match emit o with
+          | true -> true
+          | false ->
+            warn 0 "dropping output %s: undefined" o;
+            false
+          | exception Parse_error (l, msg) when lenient ->
+            warn l "dropping output %s: %s" o msg;
+            false
+        end)
+      outputs
+  in
+  if outputs = [] then raise (Parse_error (0, "no usable outputs"));
   let ordered = List.rev !ordered in
   (* Second pass: build gates, decomposing wide functions, and assign a
      deterministic placement by fanin averaging. *)
@@ -174,9 +229,10 @@ let parse ~name text =
   in
   List.iter
     (fun (lineno, lhs, fname, args) ->
-      let args_sig = List.map (resolve lineno) args in
-      let out =
-        match args_sig with
+      try
+        let args_sig = List.map (resolve lineno) args in
+        let out =
+          match args_sig with
         | [] -> fail lineno "%s has no arguments" lhs
         | [ a ] -> add_gate lhs (cell_for lineno fname 1) [| a |]
         | [ a; b ] -> add_gate lhs (cell_for lineno fname 2) [| a; b |]
@@ -198,25 +254,45 @@ let parse ~name text =
             | _ -> assert false
           in
           reduce 0 many
-      in
-      Hashtbl.replace gate_sig lhs out)
+        in
+        Hashtbl.replace gate_sig lhs out
+      with Parse_error (l, msg) when lenient ->
+        warn (if l > 0 then l else lineno) "skipping %s (%s)" lhs msg)
     ordered;
   let out_sigs =
-    List.map
+    List.filter_map
       (fun o ->
         match Hashtbl.find_opt gate_sig o with
-        | Some v -> v
-        | None -> raise (Parse_error (0, Printf.sprintf "undefined output %s" o)))
+        | Some v -> Some v
+        | None ->
+          if lenient then begin
+            warn 0 "dropping output %s: its driver was skipped" o;
+            None
+          end
+          else raise (Parse_error (0, Printf.sprintf "undefined output %s" o)))
       outputs
   in
-  Netlist.build ~name ~num_inputs ~gates:(List.rev !gates) ~outputs:out_sigs
+  if out_sigs = [] then raise (Parse_error (0, "no usable outputs"));
+  (Netlist.build ~name ~num_inputs ~gates:(List.rev !gates) ~outputs:out_sigs,
+   List.rev !warnings)
+
+let parse ~name text = fst (parse_impl ~lenient:false ~name text)
+
+let parse_lenient ~name text = parse_impl ~lenient:true ~name text
+
+let with_file_context path f =
+  try f () with Parse_error (line, msg) ->
+    (* tag the error with the file it came from; the line stays in the
+       structured payload for programmatic handlers *)
+    raise (Parse_error (line, Printf.sprintf "%s:%d: %s" path line msg))
 
 let parse_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse ~name:(Filename.remove_extension (Filename.basename path)) text
+  with_file_context path (fun () ->
+      parse ~name:(Filename.remove_extension (Filename.basename path)) text)
 
 let print nl =
   let buf = Buffer.create 4096 in

@@ -21,8 +21,18 @@ exception Parse_error of int * string
 val parse : name:string -> string -> Netlist.t
 (** Parse from the string contents of a [.bench] file. *)
 
+val parse_lenient : name:string -> string -> Netlist.t * string list
+(** Skip-and-warn mode for dirty inputs: unparseable lines, unsupported
+    cell functions, and gates (transitively) depending on undefined
+    signals are skipped instead of failing; dropped outputs are
+    reported. Returns the surviving netlist plus one warning per
+    skipped construct. Still raises {!Parse_error} when nothing usable
+    remains or on a combinational cycle. *)
+
 val parse_file : string -> Netlist.t
-(** Parse from a path; the netlist name is the file basename. *)
+(** Parse from a path; the netlist name is the file basename. Parse
+    errors are re-raised with the file name and line number in the
+    message ([path:line: msg]). *)
 
 val print : Netlist.t -> string
 (** Render a netlist back to [.bench] text (placement is not

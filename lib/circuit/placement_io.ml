@@ -47,7 +47,9 @@ let parse_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse text
+  try parse text
+  with Parse_error (line, msg) ->
+    raise (Parse_error (line, Printf.sprintf "%s:%d: %s" path line msg))
 
 let apply nl placements =
   let tbl = Hashtbl.create (List.length placements) in

@@ -241,7 +241,9 @@ let parse_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse ~name:(Filename.remove_extension (Filename.basename path)) text
+  try parse ~name:(Filename.remove_extension (Filename.basename path)) text
+  with Parse_error (line, msg) ->
+    raise (Parse_error (line, Printf.sprintf "%s:%d: %s" path line msg))
 
 let print nl =
   let buf = Buffer.create 4096 in

@@ -1,0 +1,93 @@
+type t =
+  | Parse of { file : string; line : int option; msg : string }
+  | Io of { file : string; msg : string }
+  | Numerical of { op : string; msg : string }
+  | No_critical_paths of { t_cons : float; yield : float }
+  | Invalid_input of string
+  | Bad_data of string
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let to_string = function
+  | Parse { file; line = Some l; msg } -> Printf.sprintf "%s:%d: %s" file l msg
+  | Parse { file; line = None; msg } -> Printf.sprintf "%s: %s" file msg
+  | Io { file; msg } -> Printf.sprintf "%s: %s" file msg
+  | Numerical { op; msg } -> Printf.sprintf "numerical failure in %s: %s" op msg
+  | No_critical_paths { t_cons; yield } ->
+    Printf.sprintf
+      "no statistically-critical path at T=%.1f (yield %.4f); tighten t_cons_scale"
+      t_cons yield
+  | Invalid_input msg -> msg
+  | Bad_data msg -> msg
+
+(* sysexits.h-style codes so shell pipelines can distinguish failure
+   classes: 64 usage, 65 bad input data, 66 missing input, 70 internal
+   software (numerical) error. *)
+let exit_code = function
+  | Invalid_input _ -> 64
+  | Parse _ | Bad_data _ | No_critical_paths _ -> 65
+  | Io _ -> 66
+  | Numerical _ -> 70
+
+let of_exn ~file = function
+  | Error e -> Some e
+  | Circuit.Bench_io.Parse_error (l, msg)
+  | Circuit.Verilog_io.Parse_error (l, msg)
+  | Circuit.Placement_io.Parse_error (l, msg)
+  | Circuit.Liberty.Parse_error (l, msg)
+  | Timing.Sdf.Parse_error (l, msg) ->
+    Some (Parse { file; line = (if l > 0 then Some l else None); msg })
+  | Sys_error msg -> Some (Io { file; msg })
+  | Linalg.Svd.No_convergence ->
+    Some (Numerical { op = "Svd.factor"; msg = "implicit-shift QR did not converge" })
+  | Linalg.Cholesky.Not_positive_definite ->
+    Some (Numerical { op = "Cholesky.factor"; msg = "matrix not positive definite" })
+  | Failure msg -> Some (Bad_data msg)
+  | Invalid_argument msg -> Some (Invalid_input msg)
+  | _ -> None
+
+let protect ~file f =
+  match f () with
+  | v -> Ok v
+  | exception exn ->
+    (match of_exn ~file exn with Some e -> Result.Error e | None -> raise exn)
+
+let catch f = protect ~file:"<input>" f
+
+(* ------------------------------------------------------------------ *)
+(* Result-returning ingestion entry points *)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* these parse from the string contents so the typed [Parse] error
+   carries the clean message (the [*_file] parsers re-raise with the
+   path already baked into the text, which would tag it twice) *)
+
+let basename path = Filename.remove_extension (Filename.basename path)
+
+let parse_bench_file ?(lenient = false) path =
+  protect ~file:path (fun () ->
+      let text = read_file path in
+      if lenient then Circuit.Bench_io.parse_lenient ~name:(basename path) text
+      else (Circuit.Bench_io.parse ~name:(basename path) text, []))
+
+let parse_verilog_file path =
+  protect ~file:path (fun () ->
+      Circuit.Verilog_io.parse ~name:(basename path) (read_file path))
+
+let parse_placement_file path =
+  protect ~file:path (fun () -> Circuit.Placement_io.parse (read_file path))
+
+let parse_liberty_file path =
+  protect ~file:path (fun () ->
+      Circuit.Liberty.Library.of_group (Circuit.Liberty.parse (read_file path)))
+
+let read_sdf_file path =
+  protect ~file:path (fun () -> Timing.Sdf.read (read_file path))

@@ -1,0 +1,56 @@
+(** Structured errors for the ingestion and numerical layers.
+
+    The parsers and numerical kernels raise module-local exceptions
+    ([Parse_error], [No_convergence], [Failure], ...). This module
+    gives the application layer one typed vocabulary for all of them,
+    [result]-returning entry points for every file reader, and
+    sysexits-style exit codes so the CLI can fail with a meaningful
+    status instead of an uncaught-exception backtrace. *)
+
+type t =
+  | Parse of { file : string; line : int option; msg : string }
+      (** Syntax or structural error in an input file. *)
+  | Io of { file : string; msg : string }
+      (** The file could not be read at all. *)
+  | Numerical of { op : string; msg : string }
+      (** A numerical kernel failed (non-convergence, indefiniteness). *)
+  | No_critical_paths of { t_cons : float; yield : float }
+      (** Path extraction produced an empty target pool. *)
+  | Invalid_input of string  (** Caller-side argument error. *)
+  | Bad_data of string  (** Semantically invalid data (e.g. NaN delays). *)
+
+exception Error of t
+
+val raise_error : t -> 'a
+
+val to_string : t -> string
+(** Human-readable one-line rendering, [file:line: msg] style. *)
+
+val exit_code : t -> int
+(** sysexits.h mapping: 64 usage, 65 data, 66 no input, 70 software. *)
+
+val of_exn : file:string -> exn -> t option
+(** Classify a raised exception; [None] for exceptions that are not
+    ours to interpret (e.g. [Out_of_memory]). *)
+
+val protect : file:string -> (unit -> 'a) -> ('a, t) result
+(** Run [f], converting any recognized exception into a typed error
+    tagged with [file]. Unrecognized exceptions are re-raised. *)
+
+val catch : (unit -> 'a) -> ('a, t) result
+(** {!protect} with a generic file tag, for non-file computations. *)
+
+val parse_bench_file :
+  ?lenient:bool -> string -> (Circuit.Netlist.t * string list, t) result
+(** Read a [.bench] netlist. With [~lenient:true], unparseable lines
+    and gates with undefined inputs are skipped; the string list
+    carries one warning per skipped construct (empty when strict). *)
+
+val parse_verilog_file : string -> (Circuit.Netlist.t, t) result
+
+val parse_placement_file :
+  string -> ((string * (float * float)) list, t) result
+
+val parse_liberty_file : string -> (Circuit.Liberty.Library.t, t) result
+
+val read_sdf_file : string -> ((string * float) list, t) result

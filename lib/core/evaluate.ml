@@ -17,6 +17,17 @@ let of_predictions ~truth ~predicted =
     for i = 0 to n - 1 do
       let t = Linalg.Mat.get truth i j in
       let p = Linalg.Mat.get predicted i j in
+      if not (Float.is_finite t) then
+        Errors.raise_error
+          (Errors.Bad_data
+             (Printf.sprintf
+                "Evaluate.of_predictions: non-finite truth entry at (%d, %d)" i j));
+      if not (Float.is_finite p) then
+        Errors.raise_error
+          (Errors.Bad_data
+             (Printf.sprintf
+                "Evaluate.of_predictions: non-finite prediction at (%d, %d); \
+                 screen faulted measurements with Robust before evaluating" i j));
       let rel = Float.abs (p -. t) /. Float.max 1e-12 (Float.abs t) in
       if rel > !mx then mx := rel;
       sum := !sum +. rel

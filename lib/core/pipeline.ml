@@ -23,10 +23,8 @@ let prepare_with_model ?(t_cons_scale = 1.0) ?(max_paths = 20_000)
   let result = Timing.Path_extract.extract ~max_paths dm ~t_cons ~yield_threshold in
   match result.Timing.Path_extract.paths with
   | [] ->
-    failwith
-      (Printf.sprintf
-         "Pipeline.prepare: no statistically-critical path at T=%.1f (yield %.4f); \
-          tighten t_cons_scale" t_cons circuit_yield)
+    Errors.raise_error
+      (Errors.No_critical_paths { t_cons; yield = circuit_yield })
   | paths ->
     let pool = Timing.Paths.build dm paths in
     {
@@ -37,6 +35,10 @@ let prepare_with_model ?(t_cons_scale = 1.0) ?(max_paths = 20_000)
 let prepare ?t_cons_scale ?max_paths ?yield_samples ?seed ~netlist ~model () =
   prepare_with_model ?t_cons_scale ?max_paths ?yield_samples ?seed
     ~dm:(Timing.Delay_model.build netlist model) ()
+
+let prepare_result ?t_cons_scale ?max_paths ?yield_samples ?seed ~netlist ~model () =
+  Errors.catch (fun () ->
+      prepare ?t_cons_scale ?max_paths ?yield_samples ?seed ~netlist ~model ())
 
 let approximate_selection ?config ?schedule setup ~eps =
   Select.approximate ?config ?schedule

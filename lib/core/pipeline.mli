@@ -24,9 +24,22 @@ val prepare :
   setup
 (** [t_cons_scale] multiplies the nominal critical delay to form
     T_cons (1.0 = the paper's tight Table-1 constraint; > 1 relaxes it
-    as in Table 2). Raises [Failure] when no path survives extraction
-    (the constraint is too loose). Defaults: scale 1.0, 20_000 path
-    cap, 400 yield samples, seed 42. *)
+    as in Table 2). Raises [Errors.Error (No_critical_paths _)] when no
+    path survives extraction (the constraint is too loose). Defaults:
+    scale 1.0, 20_000 path cap, 400 yield samples, seed 42. *)
+
+val prepare_result :
+  ?t_cons_scale:float ->
+  ?max_paths:int ->
+  ?yield_samples:int ->
+  ?seed:int ->
+  netlist:Circuit.Netlist.t ->
+  model:Timing.Variation.model ->
+  unit ->
+  (setup, Errors.t) result
+(** {!prepare} with failures reified as {!Errors.t} instead of
+    exceptions — the entry point for callers (the CLI, services) that
+    want exit codes rather than backtraces. *)
 
 val prepare_with_model :
   ?t_cons_scale:float ->
@@ -56,6 +69,13 @@ val hybrid_selection :
   setup ->
   eps:float ->
   Hybrid.t
+
+val draw :
+  ?mc_samples:int -> ?seed:int -> setup -> Timing.Monte_carlo.t
+(** The Monte-Carlo die population used by the [evaluate_*] functions
+    (defaults: 2_000 samples, seed 7) — exposed so callers can corrupt
+    the measured slice with {!Timing.Faults} and score {!Robust}
+    against the same truth. *)
 
 val evaluate_selection :
   ?mc_samples:int -> ?seed:int -> setup -> Select.t -> Evaluate.metrics

@@ -52,6 +52,8 @@ let rep_indices t = Array.copy t.rep
 
 let rem_indices t = Array.copy t.rem
 
+let weights t = t.w
+
 let predict t ~measured =
   if Array.length measured <> Array.length t.rep then
     invalid_arg "Predictor.predict: measurement length mismatch";

@@ -22,6 +22,11 @@ val rep_indices : t -> int array
 val rem_indices : t -> int array
 (** Complement of [rep_indices], increasing. *)
 
+val weights : t -> Linalg.Mat.t
+(** The [(n - r) x r] prediction weight matrix
+    [W = A_m A_r^T (A_r A_r^T)^+]. Shared (not copied): do not
+    mutate. *)
+
 val predict : t -> measured:Linalg.Vec.t -> Linalg.Vec.t
 (** [predict t ~measured] maps the measured representative delays
     (ordered as [rep_indices]) to predicted remaining delays (ordered

@@ -1,0 +1,89 @@
+(** Fault-tolerant Theorem-2 prediction.
+
+    The paper's optimal linear predictor assumes every representative
+    path is measured perfectly on every die. This module survives
+    dirty silicon data ({!Timing.Faults}): it screens gross errors
+    with a median-absolute-deviation test, detects missing entries
+    (encoded as [nan]), and re-derives the Theorem-2 predictor on the
+    surviving measurement subset of each die.
+
+    The full-selection Gram [A_r A_r^T] and cross product
+    [A_r A_m^T] are computed once at build time from the already
+    factored [A]; a die that lost [k] of its [r] measurements then
+    costs one [(r-k) x (r-k)] Cholesky solve on cached submatrices —
+    no refactorization of [A]. Dies sharing a survivor pattern share
+    the solve. When the reduced Gram is ill-conditioned (estimated
+    from the Cholesky pivot ratio), a Tikhonov ridge scaled to the
+    Gram's trace restores solvability at a small bias cost. *)
+
+type t
+
+val build : a:Linalg.Mat.t -> mu:Linalg.Vec.t -> rep:int array -> t
+(** Same contract as {!Predictor.build}; additionally caches the
+    reduced-system blocks. *)
+
+val of_selection : a:Linalg.Mat.t -> mu:Linalg.Vec.t -> Select.t -> t
+
+val base_predictor : t -> Predictor.t
+(** The clean-data Theorem-2 predictor over the full selection. *)
+
+(** {1 Screening} *)
+
+type screen_report = {
+  mask : bool array array;  (** [dies x r]; [true] = entry usable *)
+  missing : int;  (** non-finite entries *)
+  outliers : int;  (** finite entries rejected by the MAD screen *)
+  clean : bool;  (** no entry rejected *)
+}
+
+val default_mad_threshold : float
+(** 6.0 robust sigmas: on clean Gaussian data the expected false-reject
+    rate is ~2e-9 per entry, so a fault-free matrix screens clean. *)
+
+val screen :
+  ?mad_threshold:float -> t -> measured:Linalg.Mat.t -> screen_report
+(** Per-path (column) MAD screen over the die population plus
+    missing-entry detection. Columns with fewer than 4 finite entries,
+    or a zero MAD (degenerate distribution, e.g. coarse quantization),
+    only get the missing-entry check. *)
+
+(** {1 Prediction} *)
+
+type prediction = {
+  predicted : Linalg.Mat.t;  (** [dies x (n - r)] *)
+  screened : screen_report;
+  resolves : int;  (** distinct reduced systems solved *)
+  ridge_fallbacks : int;  (** reduced systems needing the ridge *)
+  dead_dies : int;  (** dies predicted from the mean only *)
+}
+
+val default_cond_limit : float
+
+val default_ridge : float
+(** Relative ridge: [lambda = ridge * trace(G_S) / |S|]. *)
+
+val predict_all :
+  ?mad_threshold:float ->
+  ?cond_limit:float ->
+  ?ridge:float ->
+  t ->
+  measured:Linalg.Mat.t ->
+  prediction
+(** Screen, then predict every die from its surviving measurements.
+    When the screen rejects nothing the baseline predictor is applied
+    verbatim, so clean data reproduces {!Predictor.predict_all}
+    bit-for-bit. Always returns finite predictions. *)
+
+val metrics : prediction -> truth:Linalg.Mat.t -> Evaluate.metrics
+
+val predictor_metrics :
+  ?mad_threshold:float ->
+  ?cond_limit:float ->
+  ?ridge:float ->
+  t ->
+  measured:Linalg.Mat.t ->
+  path_delays:Linalg.Mat.t ->
+  prediction * Evaluate.metrics
+(** Convenience mirroring {!Evaluate.predictor_metrics}: [measured] is
+    the (possibly corrupted) [dies x r] matrix; truth columns are
+    taken from [path_delays]. *)

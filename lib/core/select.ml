@@ -10,6 +10,24 @@ type t = {
   evaluations : int;
 }
 
+(* Golub–Reinsch can fail to converge on pathological inputs; rather than
+   abort the whole selection, retry with a full-rank randomized SVD, and
+   only surface a typed numerical error if that also fails. *)
+let factor_with_fallback a =
+  try Linalg.Svd.factor a
+  with Linalg.Svd.No_convergence ->
+    let m, n = Linalg.Mat.dims a in
+    (try Linalg.Rsvd.to_svd (Linalg.Rsvd.factor ~rank:(min m n) ~seed:0x5e1ec7 a)
+     with e ->
+       Errors.raise_error
+         (Errors.Numerical
+            {
+              op = "Select.factor_with_fallback";
+              msg =
+                "SVD did not converge and the randomized fallback failed: "
+                ^ Printexc.to_string e;
+            }))
+
 let build_at ~svd ~a ~mu ~r =
   let indices = Subset_select.rows_from_svd svd ~r in
   let predictor = Predictor.build ~a ~mu ~rep:indices in
@@ -29,7 +47,7 @@ let finish ~config ~svd ~kappa ~t_cons ~evaluations (indices, predictor) =
 
 let exact ?(config = Config.default) ~a ~mu () =
   Config.validate config;
-  let svd = Linalg.Svd.factor a in
+  let svd = factor_with_fallback a in
   let rank = max 1 (Linalg.Svd.rank ?tol:config.Config.rank_tol svd) in
   let sel = build_at ~svd ~a ~mu ~r:rank in
   (* t_cons is irrelevant for the exact selection's bookkeeping; use the
@@ -42,7 +60,7 @@ let approximate ?(config = Config.default) ?(schedule = Bisection) ~a ~mu ~eps ~
   if eps <= 0.0 then invalid_arg "Select.approximate: eps must be positive";
   if t_cons <= 0.0 then invalid_arg "Select.approximate: t_cons must be positive";
   let kappa = config.Config.kappa in
-  let svd = Linalg.Svd.factor a in
+  let svd = factor_with_fallback a in
   let rank = max 1 (Linalg.Svd.rank ?tol:config.Config.rank_tol svd) in
   let evaluations = ref 0 in
   let eval r =
@@ -91,7 +109,7 @@ let approximate_nested ?(config = Config.default) ~a ~mu ~eps ~t_cons () =
   if eps <= 0.0 then invalid_arg "Select.approximate_nested: eps must be positive";
   if t_cons <= 0.0 then invalid_arg "Select.approximate_nested: t_cons must be positive";
   let kappa = config.Config.kappa in
-  let svd = Linalg.Svd.factor a in
+  let svd = factor_with_fallback a in
   let rank = max 1 (Linalg.Svd.rank ?tol:config.Config.rank_tol svd) in
   let order = Subset_select.nested_rows svd in
   let evaluations = ref 0 in
@@ -157,7 +175,7 @@ let approximate_randomized ?(config = Config.default) ?(oversample = 8) ?(seed =
 
 let select_with_size ?(config = Config.default) ~a ~mu ~r () =
   Config.validate config;
-  let svd = Linalg.Svd.factor a in
+  let svd = factor_with_fallback a in
   let sel = build_at ~svd ~a ~mu ~r in
   let t_cons = Float.max 1e-9 (Array.fold_left Float.max 0.0 mu) in
   finish ~config ~svd ~kappa:config.Config.kappa ~t_cons ~evaluations:1 sel

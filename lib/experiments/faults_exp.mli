@@ -1,0 +1,27 @@
+(** E13 — fault-tolerant prediction under dirty silicon data.
+
+    Sweeps {!Timing.Faults} dropout and outlier rates over the
+    measurement matrix of a benchmark selection and compares the robust
+    predictor ({!Core.Robust}) against the naive Theorem-2 path applied
+    directly to the corrupted data. The naive path dies on missing
+    entries (NaN predictions are rejected as [Bad_data]) and degrades
+    badly on outliers; the robust path stays within a bounded margin of
+    the clean baseline. Also demonstrates the measurement-aware guard
+    band composed with the outlier screen. *)
+
+type row = {
+  label : string;
+  dropout : float;
+  outlier_rate : float;
+  robust_e1_pct : float;
+  robust_e2_pct : float;
+  naive_e1_pct : float option;  (** [None]: the naive predictor failed *)
+  naive_e2_pct : float option;
+  flagged : int;  (** entries rejected by the MAD screen *)
+  injected_gross : int;  (** outlier + stuck entries actually injected *)
+  missing : int;
+  dead_dies : int;
+  ridge_fallbacks : int;
+}
+
+val run : ?oc:out_channel -> Profile.t -> row list

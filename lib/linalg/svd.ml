@@ -280,7 +280,18 @@ let factor_tall a0 =
   let u, s, v = sort_svd u w v in
   { u; s; v }
 
+let check_finite op a =
+  let m, n = Mat.dims a in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      if not (Float.is_finite (Mat.get a i j)) then
+        invalid_arg
+          (Printf.sprintf "%s: non-finite entry at (%d, %d)" op i j)
+    done
+  done
+
 let factor a =
+  check_finite "Svd.factor" a;
   let m, n = Mat.dims a in
   if m = 0 || n = 0 then
     { u = Mat.create m 0; s = [||]; v = Mat.create n 0 }
@@ -352,6 +363,7 @@ let jacobi_tall a0 =
   { u; s; v }
 
 let factor_jacobi a =
+  check_finite "Svd.factor_jacobi" a;
   let m, n = Mat.dims a in
   if m = 0 || n = 0 then { u = Mat.create m 0; s = [||]; v = Mat.create n 0 }
   else if m >= n then jacobi_tall a

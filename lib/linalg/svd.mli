@@ -11,7 +11,11 @@ exception No_convergence
 val factor : Mat.t -> t
 (** Golub–Reinsch: Householder bidiagonalization followed by implicit-shift
     QR on the bidiagonal. Raises {!No_convergence} after 60 sweeps on one
-    singular value (does not happen on finite inputs in practice). *)
+    singular value (does not happen on finite inputs in practice), and
+    [Invalid_argument] on NaN/infinite entries — checked up front, since
+    non-finite input would otherwise corrupt the iteration's stopping
+    tests. Callers wanting graceful degradation should catch
+    {!No_convergence} and fall back to {!Rsvd} (see [Core.Select]). *)
 
 val factor_jacobi : Mat.t -> t
 (** One-sided Jacobi SVD. Slower; kept as an independent oracle for

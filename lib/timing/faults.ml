@@ -1,0 +1,176 @@
+type spec = {
+  path_dropout : float;
+  die_dropout : float;
+  outlier_rate : float;
+  outlier_scale : float;
+  stuck_rate : float;
+  stuck_code_ps : float;
+  drift_sigma_ps : float;
+}
+
+let none =
+  {
+    path_dropout = 0.0;
+    die_dropout = 0.0;
+    outlier_rate = 0.0;
+    outlier_scale = 0.5;
+    stuck_rate = 0.0;
+    stuck_code_ps = 0.0;
+    drift_sigma_ps = 0.0;
+  }
+
+let is_none s =
+  s.path_dropout = 0.0 && s.die_dropout = 0.0 && s.outlier_rate = 0.0
+  && s.stuck_rate = 0.0 && s.drift_sigma_ps = 0.0
+
+let validate s =
+  let rate name r =
+    if not (Float.is_finite r) || r < 0.0 || r > 1.0 then
+      invalid_arg (Printf.sprintf "Faults: %s must be in [0, 1], got %g" name r)
+  in
+  rate "path_dropout" s.path_dropout;
+  rate "die_dropout" s.die_dropout;
+  rate "outlier_rate" s.outlier_rate;
+  rate "stuck_rate" s.stuck_rate;
+  if not (Float.is_finite s.outlier_scale) || s.outlier_scale < 0.0 then
+    invalid_arg "Faults: outlier_scale must be non-negative";
+  if not (Float.is_finite s.stuck_code_ps) then
+    invalid_arg "Faults: stuck_code_ps must be finite";
+  if not (Float.is_finite s.drift_sigma_ps) || s.drift_sigma_ps < 0.0 then
+    invalid_arg "Faults: drift_sigma_ps must be non-negative"
+
+type stats = {
+  missing_entries : int;
+  dropped_dies : int;
+  outlier_entries : int;
+  stuck_entries : int;
+  drifted_dies : int;
+  total_entries : int;
+}
+
+type injected = { data : Linalg.Mat.t; mask : bool array array; stats : stats }
+
+let missing = Float.nan
+
+let inject ?(measurement = Measurement.ideal) spec rng clean =
+  validate spec;
+  let dies, paths = Linalg.Mat.dims clean in
+  let data = Linalg.Mat.copy clean in
+  let mask = Array.init dies (fun _ -> Array.make paths true) in
+  let missing_entries = ref 0 in
+  let dropped_dies = ref 0 in
+  let outlier_entries = ref 0 in
+  let stuck_entries = ref 0 in
+  let drifted_dies = ref 0 in
+  let drop i j =
+    if mask.(i).(j) then begin
+      mask.(i).(j) <- false;
+      incr missing_entries
+    end;
+    Linalg.Mat.set data i j missing
+  in
+  for i = 0 to dies - 1 do
+    (* per-die calibration drift: one additive offset shared by every
+       measurement taken on the die *)
+    let drift =
+      if spec.drift_sigma_ps > 0.0 then begin
+        incr drifted_dies;
+        spec.drift_sigma_ps *. Rng.gaussian rng
+      end
+      else 0.0
+    in
+    let die_dead = spec.die_dropout > 0.0 && Rng.float rng < spec.die_dropout in
+    if die_dead then incr dropped_dies;
+    for j = 0 to paths - 1 do
+      if die_dead then drop i j
+      else begin
+        let v = Measurement.apply measurement rng (Linalg.Mat.get data i j) in
+        let v = v +. drift in
+        let v =
+          if spec.stuck_rate > 0.0 && Rng.float rng < spec.stuck_rate then begin
+            incr stuck_entries;
+            spec.stuck_code_ps
+          end
+          else if spec.outlier_rate > 0.0 && Rng.float rng < spec.outlier_rate
+          then begin
+            (* gross error: the reading jumps by a large fraction of its
+               value, in a random direction (glitching TDC, wrong path
+               sensitized, crosstalk event) *)
+            incr outlier_entries;
+            let sign = if Rng.float rng < 0.5 then -1.0 else 1.0 in
+            let mag = spec.outlier_scale *. (0.5 +. Rng.float rng) in
+            v *. (1.0 +. (sign *. mag))
+          end
+          else v
+        in
+        Linalg.Mat.set data i j v;
+        if spec.path_dropout > 0.0 && Rng.float rng < spec.path_dropout then
+          drop i j
+      end
+    done
+  done;
+  {
+    data;
+    mask;
+    stats =
+      {
+        missing_entries = !missing_entries;
+        dropped_dies = !dropped_dies;
+        outlier_entries = !outlier_entries;
+        stuck_entries = !stuck_entries;
+        drifted_dies = !drifted_dies;
+        total_entries = dies * paths;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CLI-friendly spec strings: "dropout=0.1,outliers=0.01,stuck=0.005" *)
+
+let of_string s =
+  let parse_field acc kv =
+    let kv = String.trim kv in
+    if kv = "" then Ok acc
+    else
+      match String.index_opt kv '=' with
+      | None -> Result.Error (Printf.sprintf "fault field %S has no '='" kv)
+      | Some i ->
+        let key = String.trim (String.sub kv 0 i) in
+        let sv = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+        (match float_of_string_opt sv with
+         | None -> Result.Error (Printf.sprintf "fault field %S: bad number %S" key sv)
+         | Some v ->
+           (match key with
+            | "dropout" | "path-dropout" -> Ok { acc with path_dropout = v }
+            | "die-dropout" -> Ok { acc with die_dropout = v }
+            | "outliers" | "outlier-rate" -> Ok { acc with outlier_rate = v }
+            | "outlier-scale" -> Ok { acc with outlier_scale = v }
+            | "stuck" | "stuck-rate" -> Ok { acc with stuck_rate = v }
+            | "stuck-code" -> Ok { acc with stuck_code_ps = v }
+            | "drift" -> Ok { acc with drift_sigma_ps = v }
+            | _ -> Result.Error (Printf.sprintf "unknown fault field %S" key)))
+  in
+  let rec go acc = function
+    | [] ->
+      (match validate acc with
+       | () -> Ok acc
+       | exception Invalid_argument m -> Result.Error m)
+    | kv :: rest ->
+      (match parse_field acc kv with
+       | Ok acc -> go acc rest
+       | Result.Error _ as e -> e)
+  in
+  go none (String.split_on_char ',' s)
+
+let to_string s =
+  String.concat ","
+    (List.filter_map
+       (fun (k, v, dflt) -> if v = dflt then None else Some (Printf.sprintf "%s=%g" k v))
+       [
+         ("dropout", s.path_dropout, 0.0);
+         ("die-dropout", s.die_dropout, 0.0);
+         ("outliers", s.outlier_rate, 0.0);
+         ("outlier-scale", s.outlier_scale, none.outlier_scale);
+         ("stuck", s.stuck_rate, 0.0);
+         ("stuck-code", s.stuck_code_ps, 0.0);
+         ("drift", s.drift_sigma_ps, 0.0);
+       ])

@@ -144,12 +144,70 @@ let read text =
   walk top;
   List.rev !results
 
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  try read text
+  with Parse_error (line, msg) ->
+    raise (Parse_error (line, Printf.sprintf "%s:%d: %s" path line msg))
+
 let annotate nl pairs =
   let tbl = Hashtbl.create (List.length pairs) in
   List.iter (fun (inst, d) -> Hashtbl.replace tbl inst d) pairs;
-  Array.map
-    (fun (g : Circuit.Netlist.gate) ->
-      match Hashtbl.find_opt tbl g.name with
-      | Some d -> d
-      | None -> failwith (Printf.sprintf "Sdf.annotate: no delay for instance %s" g.name))
-    (Circuit.Netlist.gates nl)
+  let missing = ref [] in
+  let delays =
+    Array.map
+      (fun (g : Circuit.Netlist.gate) ->
+        match Hashtbl.find_opt tbl g.name with
+        | Some d -> d
+        | None ->
+          missing := g.name :: !missing;
+          nan)
+      (Circuit.Netlist.gates nl)
+  in
+  (match List.rev !missing with
+   | [] -> ()
+   | names ->
+     let shown = List.filteri (fun i _ -> i < 5) names in
+     failwith
+       (Printf.sprintf "Sdf.annotate: no delay for %d of %d instances (%s%s)"
+          (List.length names)
+          (Circuit.Netlist.num_gates nl)
+          (String.concat ", " shown)
+          (if List.length names > 5 then ", ..." else "")));
+  delays
+
+let annotate_lenient nl pairs =
+  let tbl = Hashtbl.create (List.length pairs) in
+  List.iter (fun (inst, d) -> Hashtbl.replace tbl inst d) pairs;
+  let present = List.map snd pairs |> List.filter Float.is_finite in
+  if present = [] then failwith "Sdf.annotate_lenient: no usable delays at all";
+  let fallback =
+    (* median of the annotated delays: a neutral stand-in for a gate
+       the SDF forgot, keeping the netlist usable for path extraction *)
+    let sorted = List.sort compare present in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let warnings = ref [] in
+  let delays =
+    Array.map
+      (fun (g : Circuit.Netlist.gate) ->
+        match Hashtbl.find_opt tbl g.name with
+        | Some d when Float.is_finite d -> d
+        | Some _ ->
+          warnings :=
+            Printf.sprintf "non-finite delay for %s; using median %.3f" g.name
+              fallback
+            :: !warnings;
+          fallback
+        | None ->
+          warnings :=
+            Printf.sprintf "no delay for instance %s; using median %.3f" g.name
+              fallback
+            :: !warnings;
+          fallback)
+      (Circuit.Netlist.gates nl)
+  in
+  (delays, List.rev !warnings)

@@ -20,6 +20,18 @@ val read : string -> (string * float) list
     a flat SDF document (the typical rise value of the first IOPATH per
     cell entry). Tolerant of whitespace and comments. *)
 
+val read_file : string -> (string * float) list
+(** {!read} on a file's contents; parse errors are re-raised with the
+    file name and line number in the message ([path:line: msg]). *)
+
 val annotate : Circuit.Netlist.t -> (string * float) list -> float array
 (** Map parsed delays back onto gate ids by instance name; gates
-    missing from the SDF raise [Failure]. *)
+    missing from the SDF raise [Failure] naming how many instances
+    were unannotated and the first few of them. *)
+
+val annotate_lenient :
+  Circuit.Netlist.t -> (string * float) list -> float array * string list
+(** Skip-and-warn variant: gates missing from the SDF (or annotated
+    with a non-finite value) get the median of the usable delays, with
+    one warning each. Raises [Failure] only when no usable delay
+    exists at all. *)

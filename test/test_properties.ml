@@ -68,16 +68,19 @@ let prop_analytic_bound_holds_on_mc =
         let rem = Core.Predictor.rem_indices p in
         let pred = Core.Predictor.predict_all p ~measured:(Linalg.Mat.select_cols d rep) in
         let sigmas = Core.Predictor.error_sigmas p in
-        (* every observed |error| must stay within ~4.5 sigma of the
-           analytic model (400 x few-hundred samples; 4.5 sigma keeps the
-           false-failure odds negligible while still catching a wrong
-           sigma model) *)
+        (* every observed |error| must stay within 5.5 sigma of the
+           analytic model. 400 samples x up to ~100 remaining paths is
+           ~40k Gaussian draws per case, whose expected max |z| is
+           already ~4.6 — a 4.5-sigma bound flakes routinely. 5.5
+           clears the observed worst case over the whole generator
+           domain (4.85) yet still fails if the sigma model is off by
+           ~15% or more. *)
         let ok = ref true in
         Array.iteri
           (fun j rem_j ->
             for k = 0 to 399 do
               let e = Float.abs (Linalg.Mat.get pred k j -. Linalg.Mat.get d k rem_j) in
-              if e > (4.5 *. sigmas.(j)) +. 1e-9 then ok := false
+              if e > (5.5 *. sigmas.(j)) +. 1e-9 then ok := false
             done)
           rem;
         !ok)
