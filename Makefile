@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke bench doc clean
+.PHONY: all build test smoke bench bench-e14 doc clean
 
 all: build
 
@@ -17,6 +17,10 @@ smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# E14 serving-throughput experiment; emits BENCH_e14.json in the repo root.
+bench-e14:
+	dune exec bench/main.exe -- e14
 
 doc:
 	dune build @doc

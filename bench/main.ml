@@ -11,10 +11,9 @@
      dune exec bench/main.exe -- table2 --full    # paper-scale sizes
      dune exec bench/main.exe -- micro            # kernel timings only *)
 
-let usage () =
-  print_endline
-    "usage: main.exe [table1|table2|figure2|guardband|ablation|robustness|baselines|faults|micro|all] [--full]";
-  exit 1
+(* The dispatch table at the bottom is the single source of truth for
+   the subcommand list: the usage string, the dispatch, and "all" are
+   all generated from it, so they cannot drift apart. *)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels behind each experiment *)
@@ -104,6 +103,42 @@ let run_micro () =
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
 
+(* name, banner title, runner — everything else derives from this list *)
+let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
+  [
+    ( "table1",
+      "E1 / Table 1 -- approximate path selection",
+      fun p -> ignore (Experiments.Table1.run p) );
+    ( "table2",
+      "E2 / Table 2 -- hybrid path/segment selection",
+      fun p -> ignore (Experiments.Table2.run p) );
+    ( "figure2",
+      "E3 / Figure 2 -- singular value decay",
+      fun p -> ignore (Experiments.Figure2.run p) );
+    ( "guardband",
+      "E4 / Section 6.3 -- guard-band analysis",
+      fun p -> ignore (Experiments.Guardband_exp.run p) );
+    ("ablation", "E5+E6+E7 -- ablations", fun p -> Experiments.Ablation.run p);
+    ( "robustness",
+      "E8+E9+E11 -- production robustness",
+      fun p -> Experiments.Robustness.run p );
+    ( "baselines",
+      "E12 -- baselines from the related work",
+      fun p -> ignore (Experiments.Baselines_exp.run p) );
+    ( "faults",
+      "E13 -- fault-tolerant prediction under dirty silicon data",
+      fun p -> ignore (Experiments.Faults_exp.run p) );
+    ( "e14",
+      "E14 -- serving throughput: cold pipeline vs warm batched server",
+      fun p -> ignore (Experiments.Serve_exp.run ~out:"BENCH_e14.json" p) );
+    ("micro", "micro-benchmarks", fun _ -> run_micro ());
+  ]
+
+let usage () =
+  Printf.printf "usage: main.exe [%s|all] [--full]\n"
+    (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
+  exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
@@ -112,58 +147,14 @@ let () =
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;
   let t0 = Unix.gettimeofday () in
-  let run_table1 () =
-    banner "E1 / Table 1 -- approximate path selection";
-    ignore (Experiments.Table1.run profile)
-  in
-  let run_table2 () =
-    banner "E2 / Table 2 -- hybrid path/segment selection";
-    ignore (Experiments.Table2.run profile)
-  in
-  let run_figure2 () =
-    banner "E3 / Figure 2 -- singular value decay";
-    ignore (Experiments.Figure2.run profile)
-  in
-  let run_guardband () =
-    banner "E4 / Section 6.3 -- guard-band analysis";
-    ignore (Experiments.Guardband_exp.run profile)
-  in
-  let run_ablation () =
-    banner "E5+E6+E7 -- ablations";
-    Experiments.Ablation.run profile
-  in
-  let run_robustness () =
-    banner "E8+E9+E11 -- production robustness";
-    Experiments.Robustness.run profile
-  in
-  let run_baselines () =
-    banner "E12 -- baselines from the related work";
-    ignore (Experiments.Baselines_exp.run profile)
-  in
-  let run_faults () =
-    banner "E13 -- fault-tolerant prediction under dirty silicon data";
-    ignore (Experiments.Faults_exp.run profile)
+  let run_one (_, title, fn) =
+    banner title;
+    fn profile
   in
   (match what with
-   | "table1" -> run_table1 ()
-   | "table2" -> run_table2 ()
-   | "figure2" -> run_figure2 ()
-   | "guardband" -> run_guardband ()
-   | "ablation" -> run_ablation ()
-   | "robustness" -> run_robustness ()
-   | "baselines" -> run_baselines ()
-   | "faults" -> run_faults ()
-   | "micro" -> run_micro ()
-   | "all" ->
-     run_table1 ();
-     run_table2 ();
-     run_figure2 ();
-     run_guardband ();
-     run_ablation ();
-     run_robustness ();
-     run_baselines ();
-     run_faults ();
-     banner "micro-benchmarks";
-     run_micro ()
-   | _ -> usage ());
+   | "all" -> List.iter run_one experiments
+   | w ->
+     (match List.find_opt (fun (name, _, _) -> name = w) experiments with
+      | Some entry -> run_one entry
+      | None -> usage ()));
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

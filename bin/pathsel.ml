@@ -391,6 +391,247 @@ let diagnose_cmd =
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ die_seed $ top)
 
+(* ---------------- prediction service: save / inspect / serve / client ------ *)
+
+let artifact_pos =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"ARTIFACT" ~doc:"Selection artifact file (see $(b,pathsel save)).")
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1 (0 = ephemeral).")
+
+let address ~socket ~port =
+  match (socket, port) with
+  | Some _, Some _ ->
+    Core.Errors.raise_error
+      (Core.Errors.Invalid_input "--socket and --port are mutually exclusive")
+  | Some s, None -> Serve.Unix_sock s
+  | None, Some p -> Serve.Tcp p
+  | None, None -> Serve.Unix_sock "pathsel.sock"
+
+let save_cmd =
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Exact selection (r = rank A).")
+  in
+  let output =
+    Arg.(value & opt string "selection.psa"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Artifact output path.")
+  in
+  let run circuit scale seed levels random_boost tscale max_paths eps exact liberty
+      lenient output =
+   handle @@ fun () ->
+    let setup =
+      prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
+        ~max_paths ~liberty ()
+    in
+    let sel =
+      if exact then Core.Pipeline.exact_selection setup
+      else Core.Pipeline.approximate_selection setup ~eps
+    in
+    let pool = setup.Core.Pipeline.pool in
+    let fingerprint =
+      Printf.sprintf
+        "circuit=%s scale=%g seed=%d levels=%d random-boost=%g t-scale=%g \
+         max-paths=%d eps=%g mode=%s liberty=%s"
+        (Option.value ~default:"<synthetic>" circuit)
+        scale seed levels random_boost tscale max_paths eps
+        (if exact then "exact" else "approximate")
+        (Option.value ~default:"none" liberty)
+    in
+    let artifact =
+      Store.of_selection ~fingerprint ~t_cons:setup.Core.Pipeline.t_cons ~eps
+        ~n_segments:(Timing.Paths.num_segments pool)
+        ~a:(Timing.Paths.a_mat pool) ~mu:(Timing.Paths.mu_paths pool) sel
+    in
+    (match Store.save output artifact with
+     | Ok () -> ()
+     | Error e -> Core.Errors.raise_error e);
+    Printf.printf
+      "wrote %s: %d of %d paths selected (eps_r = %.2f%%), one-time pipeline \
+       amortized\n"
+      output
+      (Array.length sel.Core.Select.indices)
+      (Timing.Paths.num_paths pool)
+      (100.0 *. sel.Core.Select.eps_r)
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Run the selection pipeline once and persist everything die-time \
+             prediction needs as a versioned, checksummed artifact.")
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
+          $ liberty_arg $ lenient_arg $ output)
+
+let inspect_cmd =
+  let run path =
+   handle @@ fun () ->
+    match Store.load path with
+    | Ok artifact -> print_string (Store.describe artifact)
+    | Error e -> Core.Errors.raise_error e
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Validate a selection artifact (magic, version, checksum) and print \
+             its summary.")
+    Term.(const run $ artifact_pos)
+
+let serve_cmd =
+  let max_batch =
+    Arg.(value & opt int 4096
+         & info [ "max-batch" ] ~docv:"N" ~doc:"Largest die batch accepted per request.")
+  in
+  let self_check =
+    Arg.(value & flag
+         & info [ "self-check" ]
+             ~doc:"Fork the server, ping it over the socket, shut it down, and exit; \
+                   a CI-able one-shot liveness probe.")
+  in
+  let run path socket port max_batch self_check =
+   handle @@ fun () ->
+    let artifact =
+      match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
+    in
+    let addr = address ~socket ~port in
+    if self_check then begin
+      match Unix.fork () with
+      | 0 ->
+        (* child: serve until the parent's shutdown request *)
+        (try
+           Serve.run ~install_signals:false ~max_batch artifact addr;
+           Stdlib.exit 0
+         with _ -> Stdlib.exit 1)
+      | pid ->
+        let c = Serve.Client.connect addr in
+        let pong = Serve.Client.ping c in
+        let stats_ok = Result.is_ok (Serve.Client.stats c) in
+        Serve.Client.shutdown c;
+        Serve.Client.close c;
+        let _, status = Unix.waitpid [] pid in
+        (match (pong, stats_ok, status) with
+         | true, true, Unix.WEXITED 0 ->
+           Printf.printf "self-check: ping + stats + drain ok on %s\n"
+             (Serve.address_to_string addr)
+         | _ ->
+           prerr_endline "self-check: FAILED";
+           Stdlib.exit 70)
+    end
+    else begin
+      Serve.run ~max_batch artifact addr
+        ~on_ready:(fun bound ->
+          Printf.printf "pathsel serve: listening on %s (%d paths, %d representatives)\n%!"
+            (Serve.address_to_string bound) artifact.Store.n_paths
+            (Array.length artifact.Store.selection.Core.Select.indices));
+      print_endline "pathsel serve: drained, bye"
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve batched die-delay predictions from a saved artifact over a \
+             Unix-domain or TCP socket (newline-delimited JSON).")
+    Term.(const run $ artifact_pos $ socket_arg $ port_arg $ max_batch $ self_check)
+
+let client_cmd =
+  let op =
+    Arg.(required & pos 0 (some (enum
+           [ ("ping", `Ping); ("stats", `Stats); ("shutdown", `Shutdown);
+             ("predict", `Predict) ])) None
+         & info [] ~docv:"OP" ~doc:"One of ping, stats, shutdown, predict.")
+  in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "data" ] ~docv:"FILE"
+             ~doc:"Measured representative delays for $(b,predict): one die per \
+                   line, comma- or space-separated; empty, $(b,nan) or \
+                   $(b,null) marks a missing entry. $(b,-) reads stdin.")
+  in
+  let robust =
+    Arg.(value & flag
+         & info [ "robust" ]
+             ~doc:"Flag the batch as dirty: route through the MAD screen and the \
+                   fault-tolerant reduced-subset predictor.")
+  in
+  let parse_batch text =
+    let parse_cell i j cell =
+      match String.lowercase_ascii (String.trim cell) with
+      | "" | "nan" | "null" -> Float.nan
+      | s ->
+        (match float_of_string_opt s with
+         | Some v -> v
+         | None ->
+           Core.Errors.raise_error
+             (Core.Errors.Bad_data
+                (Printf.sprintf "die %d entry %d: %S is not a number" i j s)))
+    in
+    let rows =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+      |> List.mapi (fun i line ->
+             (* comma-separated keeps empty cells (= missing measurement);
+                whitespace-separated collapses runs of separators *)
+             (if String.contains line ',' then String.split_on_char ',' line
+              else
+                String.split_on_char ' '
+                  (String.map (fun c -> if c = '\t' then ' ' else c) line)
+                |> List.filter (fun c -> String.trim c <> ""))
+             |> List.mapi (fun j cell -> parse_cell i j cell)
+             |> Array.of_list)
+    in
+    if rows = [] then
+      Core.Errors.raise_error (Core.Errors.Bad_data "no dies in the input");
+    let widths = List.map Array.length rows in
+    (match widths with
+     | w :: rest when List.exists (fun w' -> w' <> w) rest ->
+       Core.Errors.raise_error (Core.Errors.Bad_data "ragged measurement rows")
+     | _ -> ());
+    Linalg.Mat.of_arrays (Array.of_list rows)
+  in
+  let run op socket port data robust =
+   handle @@ fun () ->
+    let addr = address ~socket ~port in
+    let c = Serve.Client.connect addr in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let print_response = function
+      | Ok resp -> print_endline (Serve.Wire.print resp)
+      | Error msg ->
+        Core.Errors.raise_error (Core.Errors.Io { file = "<server>"; msg })
+    in
+    match op with
+    | `Ping ->
+      if Serve.Client.ping c then print_endline "pong"
+      else Core.Errors.raise_error (Core.Errors.Io { file = "<server>"; msg = "no pong" })
+    | `Stats -> print_response (Serve.Client.stats c)
+    | `Shutdown ->
+      Serve.Client.shutdown c;
+      print_endline "shutdown requested"
+    | `Predict ->
+      let text =
+        match data with
+        | None ->
+          Core.Errors.raise_error
+            (Core.Errors.Invalid_input "predict needs --data FILE (or --data -)")
+        | Some "-" -> In_channel.input_all stdin
+        | Some path ->
+          (try In_channel.with_open_text path In_channel.input_all
+           with Sys_error msg -> Core.Errors.raise_error (Core.Errors.Io { file = path; msg }))
+      in
+      let measured = parse_batch text in
+      (match Serve.Client.predict c ~robust measured with
+       | Ok (_, resp) -> print_endline (Serve.Wire.print resp)
+       | Error msg ->
+         Core.Errors.raise_error (Core.Errors.Bad_data ("server: " ^ msg)))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,pathsel serve): ping, stats, shutdown, or a \
+             batched prediction request.")
+    Term.(const run $ op $ socket_arg $ port_arg $ data $ robust)
+
 (* ---------------- experiment wrappers ---------------- *)
 
 let profile_arg =
@@ -439,6 +680,7 @@ let main =
        ~doc:"Representative path selection for post-silicon timing prediction \
              (Xie & Davoodi, DAC 2010).")
     [ generate_cmd; select_cmd; hybrid_cmd; spectrum_cmd; sdf_cmd; diagnose_cmd;
+      save_cmd; inspect_cmd; serve_cmd; client_cmd;
       table1_cmd; table2_cmd; figure2_cmd; guardband_cmd; ablation_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

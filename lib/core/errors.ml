@@ -5,6 +5,9 @@ type t =
   | No_critical_paths of { t_cons : float; yield : float }
   | Invalid_input of string
   | Bad_data of string
+  | Bad_magic of { file : string }
+  | Version_mismatch of { file : string; found : int; expected : int }
+  | Corrupt_artifact of { file : string; msg : string }
 
 exception Error of t
 
@@ -21,6 +24,13 @@ let to_string = function
       t_cons yield
   | Invalid_input msg -> msg
   | Bad_data msg -> msg
+  | Bad_magic { file } ->
+    Printf.sprintf "%s: not a pathsel selection artifact (bad magic)" file
+  | Version_mismatch { file; found; expected } ->
+    Printf.sprintf "%s: artifact format version %d; this build reads version %d"
+      file found expected
+  | Corrupt_artifact { file; msg } ->
+    Printf.sprintf "%s: corrupt artifact: %s" file msg
 
 (* sysexits.h-style codes so shell pipelines can distinguish failure
    classes: 64 usage, 65 bad input data, 66 missing input, 70 internal
@@ -28,6 +38,7 @@ let to_string = function
 let exit_code = function
   | Invalid_input _ -> 64
   | Parse _ | Bad_data _ | No_critical_paths _ -> 65
+  | Bad_magic _ | Version_mismatch _ | Corrupt_artifact _ -> 65
   | Io _ -> 66
   | Numerical _ -> 70
 

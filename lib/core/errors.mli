@@ -18,6 +18,12 @@ type t =
       (** Path extraction produced an empty target pool. *)
   | Invalid_input of string  (** Caller-side argument error. *)
   | Bad_data of string  (** Semantically invalid data (e.g. NaN delays). *)
+  | Bad_magic of { file : string }
+      (** The file is not a pathsel selection artifact at all. *)
+  | Version_mismatch of { file : string; found : int; expected : int }
+      (** The artifact was written by an incompatible format version. *)
+  | Corrupt_artifact of { file : string; msg : string }
+      (** Truncation, checksum failure, or an inconsistent payload. *)
 
 exception Error of t
 

@@ -86,3 +86,67 @@ let epsilon_r t ~kappa ~t_cons =
 let per_path_epsilon t ~kappa ~t_cons =
   if t_cons <= 0.0 then invalid_arg "Predictor.per_path_epsilon: t_cons must be positive";
   Array.map (fun s -> kappa *. s /. t_cons) t.sigmas
+
+(* ------------------------------------------------------------------ *)
+(* Serialization support *)
+
+type raw = {
+  raw_rep : int array;
+  raw_rem : int array;
+  raw_w : Linalg.Mat.t;
+  raw_mu_rep : Linalg.Vec.t;
+  raw_mu_rem : Linalg.Vec.t;
+  raw_omega : Linalg.Mat.t;
+  raw_sigmas : Linalg.Vec.t;
+}
+
+let export t =
+  {
+    raw_rep = Array.copy t.rep;
+    raw_rem = Array.copy t.rem;
+    raw_w = Linalg.Mat.copy t.w;
+    raw_mu_rep = Array.copy t.mu_rep;
+    raw_mu_rem = Array.copy t.mu_rem;
+    raw_omega = Linalg.Mat.copy t.omega;
+    raw_sigmas = Array.copy t.sigmas;
+  }
+
+let import raw =
+  let r = Array.length raw.raw_rep in
+  let nrem = Array.length raw.raw_rem in
+  let n = r + nrem in
+  if r = 0 then invalid_arg "Predictor.import: empty representative set";
+  let check_sorted name idx =
+    Array.iteri
+      (fun k i ->
+        if i < 0 || i >= n then
+          invalid_arg (Printf.sprintf "Predictor.import: %s index out of range" name);
+        if k > 0 && idx.(k - 1) >= i then
+          invalid_arg
+            (Printf.sprintf "Predictor.import: %s indices must be sorted and distinct"
+               name))
+      idx
+  in
+  check_sorted "rep" raw.raw_rep;
+  check_sorted "rem" raw.raw_rem;
+  if complement n raw.raw_rep <> raw.raw_rem then
+    invalid_arg "Predictor.import: rem is not the complement of rep";
+  let wr, wc = Linalg.Mat.dims raw.raw_w in
+  if wr <> nrem || wc <> r then invalid_arg "Predictor.import: weight dims mismatch";
+  if Array.length raw.raw_mu_rep <> r then
+    invalid_arg "Predictor.import: mu_rep length mismatch";
+  if Array.length raw.raw_mu_rem <> nrem then
+    invalid_arg "Predictor.import: mu_rem length mismatch";
+  let omr, _ = Linalg.Mat.dims raw.raw_omega in
+  if omr <> nrem then invalid_arg "Predictor.import: omega row count mismatch";
+  if Array.length raw.raw_sigmas <> nrem then
+    invalid_arg "Predictor.import: sigmas length mismatch";
+  {
+    rep = Array.copy raw.raw_rep;
+    rem = Array.copy raw.raw_rem;
+    w = Linalg.Mat.copy raw.raw_w;
+    mu_rep = Array.copy raw.raw_mu_rep;
+    mu_rem = Array.copy raw.raw_mu_rem;
+    omega = Linalg.Mat.copy raw.raw_omega;
+    sigmas = Array.copy raw.raw_sigmas;
+  }

@@ -52,3 +52,29 @@ val epsilon_r : t -> kappa:float -> t_cons:float -> float
 val per_path_epsilon : t -> kappa:float -> t_cons:float -> Linalg.Vec.t
 (** Per-path guard-band fractions [kappa * sigma_i / t_cons]
     (Section 4.3's tighter per-path bound). *)
+
+(** {1 Serialization support}
+
+    A built predictor is a pure value: the weight matrix and error
+    operator fully determine its behaviour. [export]/[import] expose it
+    as a plain record so {!Store} can persist a predictor and a serving
+    process can restore it {e bit-for-bit} without re-running the
+    Gram solve. *)
+
+type raw = {
+  raw_rep : int array;          (** sorted representative indices *)
+  raw_rem : int array;          (** their complement, increasing *)
+  raw_w : Linalg.Mat.t;         (** [(n-r) x r] prediction weights *)
+  raw_mu_rep : Linalg.Vec.t;
+  raw_mu_rem : Linalg.Vec.t;
+  raw_omega : Linalg.Mat.t;     (** [(n-r) x m] error operator *)
+  raw_sigmas : Linalg.Vec.t;    (** row norms of [raw_omega] *)
+}
+
+val export : t -> raw
+(** Copies of every component; mutating the result does not affect [t]. *)
+
+val import : raw -> t
+(** Inverse of {!export}. Validates index ordering and every dimension;
+    raises [Invalid_argument] on any inconsistency. For all [t],
+    [import (export t)] predicts bit-identically to [t]. *)

@@ -28,6 +28,35 @@ let of_selection ~a ~mu sel = build ~a ~mu ~rep:sel.Select.indices
 let base_predictor t = t.base
 
 (* ------------------------------------------------------------------ *)
+(* Serialization support *)
+
+type blocks = {
+  gram : Linalg.Mat.t;
+  cross : Linalg.Mat.t;
+}
+
+let export_blocks (t : t) =
+  { gram = Linalg.Mat.copy t.gram; cross = Linalg.Mat.copy t.cross }
+
+let of_parts ~base { gram; cross } =
+  let raw = Predictor.export base in
+  let r = Array.length raw.Predictor.raw_rep in
+  let nrem = Array.length raw.Predictor.raw_rem in
+  let gr, gc = Linalg.Mat.dims gram in
+  if gr <> r || gc <> r then invalid_arg "Robust.of_parts: gram dims mismatch";
+  let cr, cc = Linalg.Mat.dims cross in
+  if cr <> r || cc <> nrem then invalid_arg "Robust.of_parts: cross dims mismatch";
+  {
+    base;
+    rep = raw.Predictor.raw_rep;
+    rem = raw.Predictor.raw_rem;
+    gram = Linalg.Mat.copy gram;
+    cross = Linalg.Mat.copy cross;
+    mu_rep = raw.Predictor.raw_mu_rep;
+    mu_rem = raw.Predictor.raw_mu_rem;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Outlier / missing-data screen *)
 
 type screen_report = {

@@ -27,6 +27,24 @@ val of_selection : a:Linalg.Mat.t -> mu:Linalg.Vec.t -> Select.t -> t
 val base_predictor : t -> Predictor.t
 (** The clean-data Theorem-2 predictor over the full selection. *)
 
+(** {1 Serialization support} *)
+
+type blocks = {
+  gram : Linalg.Mat.t;   (** [r x r]: [A_r A_r^T] *)
+  cross : Linalg.Mat.t;  (** [r x (n-r)]: [A_r A_m^T] *)
+}
+
+val export_blocks : t -> blocks
+(** Copies of the cached reduced-system blocks, so {!Store} can persist
+    them alongside the base predictor. *)
+
+val of_parts : base:Predictor.t -> blocks -> t
+(** Reassemble a robust predictor from a restored base predictor and
+    its cached blocks — the serving-time load path; no access to [A] is
+    needed. Validates block dimensions against [base]; raises
+    [Invalid_argument] on mismatch. [of_parts ~base (export_blocks t)]
+    with [base = base_predictor t] predicts bit-identically to [t]. *)
+
 (** {1 Screening} *)
 
 type screen_report = {

@@ -1,0 +1,416 @@
+module Wire = Wire
+
+type address = Unix_sock of string | Tcp of int
+
+let address_of_string s =
+  let tcp p =
+    match int_of_string_opt p with
+    | Some port when port >= 0 && port < 65536 -> Ok (Tcp port)
+    | _ -> Error (Printf.sprintf "invalid TCP port %S" p)
+  in
+  if String.length s > 0 && s.[0] = ':' then tcp (String.sub s 1 (String.length s - 1))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if s = "" then Error "empty address"
+  else Ok (Unix_sock s)
+
+let address_to_string = function
+  | Unix_sock path -> path
+  | Tcp port -> Printf.sprintf "127.0.0.1:%d" port
+
+let rec eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+
+(* ------------------------------------------------------------------ *)
+(* Server state *)
+
+let latency_window = 4096
+
+type counters = {
+  mutable requests : int;
+  mutable predicted : int;  (* dies *)
+  mutable errors : int;
+  lat : float array;        (* ms, ring buffer *)
+  mutable lat_n : int;      (* total latencies ever recorded *)
+}
+
+type t = {
+  artifact : Store.t;
+  predictor : Core.Predictor.t;
+  robust : Core.Robust.t;
+  n_rep : int;
+  max_batch : int;
+  counters : counters;
+  started : float;
+  mutable stop : bool;
+}
+
+let create ?(max_batch = 4096) artifact =
+  if max_batch < 1 then invalid_arg "Serve.create: max_batch < 1";
+  (* restore once, up front: the dense weight matrix and the robust
+     Gram/cross blocks are the precomputed factors every request reuses *)
+  let predictor = Store.predictor artifact in
+  let robust = Store.robust artifact in
+  {
+    artifact;
+    predictor;
+    robust;
+    n_rep = Array.length (Core.Predictor.rep_indices predictor);
+    max_batch;
+    counters =
+      { requests = 0; predicted = 0; errors = 0;
+        lat = Array.make latency_window 0.0; lat_n = 0 };
+    started = Unix.gettimeofday ();
+    stop = false;
+  }
+
+let stopping t = t.stop
+
+let record_latency t ms =
+  let c = t.counters in
+  c.lat.(c.lat_n mod latency_window) <- ms;
+  c.lat_n <- c.lat_n + 1
+
+let latency_stats t =
+  let c = t.counters in
+  let n = min c.lat_n latency_window in
+  if n = 0 then Wire.Null
+  else begin
+    let window = Array.sub c.lat 0 n in
+    let sum = Array.fold_left ( +. ) 0.0 window in
+    Wire.Obj
+      [
+        ("min", Wire.Float (Array.fold_left Float.min window.(0) window));
+        ("mean", Wire.Float (sum /. float_of_int n));
+        ("max", Wire.Float (Array.fold_left Float.max window.(0) window));
+        ("p99", Wire.Float (Stats.Descriptive.quantile window 0.99));
+        ("window", Wire.Int n);
+      ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request handling *)
+
+let ok_fields op rest = Wire.Obj (("ok", Wire.Bool true) :: ("op", Wire.String op) :: rest)
+
+let error_response ?(code = 65) msg =
+  Wire.Obj
+    [ ("ok", Wire.Bool false); ("error", Wire.String msg); ("code", Wire.Int code) ]
+
+let handle_stats t =
+  let c = t.counters in
+  let a = t.artifact in
+  ok_fields "stats"
+    [
+      ("requests", Wire.Int c.requests);
+      ("dies_predicted", Wire.Int c.predicted);
+      ("errors", Wire.Int c.errors);
+      ("uptime_s", Wire.Float (Unix.gettimeofday () -. t.started));
+      ("latency_ms", latency_stats t);
+      ( "artifact",
+        Wire.Obj
+          [
+            ("fingerprint", Wire.String a.Store.fingerprint);
+            ("paths", Wire.Int a.Store.n_paths);
+            ("representatives", Wire.Int t.n_rep);
+            ("predicted_paths", Wire.Int (a.Store.n_paths - t.n_rep));
+            ("t_cons_ps", Wire.Float a.Store.t_cons);
+            ("eps", Wire.Float a.Store.eps);
+          ] );
+    ]
+
+let handle_predict t req =
+  match Wire.member "dies" req with
+  | None -> error_response "predict: missing \"dies\""
+  | Some dies ->
+    (match Wire.mat_of_json ~cols:t.n_rep dies with
+     | Error msg -> error_response ("predict: " ^ msg)
+     | Ok measured ->
+       let n_dies, _ = Linalg.Mat.dims measured in
+       if n_dies > t.max_batch then
+         error_response
+           (Printf.sprintf "predict: batch of %d dies exceeds the %d-die limit"
+              n_dies t.max_batch)
+       else begin
+         let dirty_flag =
+           match Wire.member "robust" req with Some (Wire.Bool b) -> b | _ -> false
+         in
+         let has_missing =
+           let found = ref false in
+           for i = 0 to n_dies - 1 do
+             for j = 0 to t.n_rep - 1 do
+               if not (Float.is_finite (Linalg.Mat.get measured i j)) then found := true
+             done
+           done;
+           !found
+         in
+         (* a request that flags dirty data — or one that provably is
+            (missing entries) — routes through the fault-tolerant
+            predictor and its cached Gram blocks; clean batches take
+            the single matrix-matrix apply *)
+         let extra, predicted =
+           if dirty_flag || has_missing then begin
+             let pr = Core.Robust.predict_all t.robust ~measured in
+             ( [
+                 ("robust", Wire.Bool true);
+                 ( "screen",
+                   Wire.Obj
+                     [
+                       ("missing", Wire.Int pr.Core.Robust.screened.Core.Robust.missing);
+                       ("outliers", Wire.Int pr.Core.Robust.screened.Core.Robust.outliers);
+                       ("resolves", Wire.Int pr.Core.Robust.resolves);
+                       ("ridge_fallbacks", Wire.Int pr.Core.Robust.ridge_fallbacks);
+                       ("dead_dies", Wire.Int pr.Core.Robust.dead_dies);
+                     ] );
+               ],
+               pr.Core.Robust.predicted )
+           end
+           else ([ ("robust", Wire.Bool false) ], Core.Predictor.predict_all t.predictor ~measured)
+         in
+         t.counters.predicted <- t.counters.predicted + n_dies;
+         ok_fields "predict"
+           (("dies", Wire.Int n_dies)
+            :: extra
+            @ [ ("predictions", Wire.mat_to_json predicted) ])
+       end)
+
+let handle t line =
+  let t0 = Unix.gettimeofday () in
+  t.counters.requests <- t.counters.requests + 1;
+  let response =
+    match Wire.parse line with
+    | Error msg -> error_response ("parse error: " ^ msg)
+    | Ok req ->
+      (match Wire.member "op" req with
+       | Some (Wire.String "ping") ->
+         ok_fields "ping" [ ("version", Wire.Int Store.current_version) ]
+       | Some (Wire.String "stats") -> handle_stats t
+       | Some (Wire.String "shutdown") ->
+         t.stop <- true;
+         ok_fields "shutdown" [ ("draining", Wire.Bool true) ]
+       | Some (Wire.String "predict") ->
+         (* isolate compute errors: a pathological batch answers
+            ok:false instead of tearing the connection down *)
+         (match Core.Errors.catch (fun () -> handle_predict t req) with
+          | Ok resp -> resp
+          | Error e ->
+            error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
+       | Some (Wire.String op) -> error_response (Printf.sprintf "unknown op %S" op)
+       | Some _ -> error_response "\"op\" must be a string"
+       | None -> error_response "request must be an object with an \"op\" field")
+  in
+  (match response with
+   | Wire.Obj (("ok", Wire.Bool false) :: _) -> t.counters.errors <- t.counters.errors + 1
+   | _ -> ());
+  record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+  Wire.print response
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    let k = eintr (fun () -> Unix.write_substring fd s !off (len - !off)) in
+    if k = 0 then failwith "short write";
+    off := !off + k
+  done
+
+(* true when [fd] is readable before [timeout]; false on timeout or a
+   signal interruption (the caller re-checks the stop flag either way) *)
+let readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let serve_conn t fd =
+  let pending = Buffer.create 1024 in
+  let lines = Queue.create () in
+  let chunk = Bytes.create 65536 in
+  let feed k =
+    for i = 0 to k - 1 do
+      match Bytes.get chunk i with
+      | '\n' ->
+        Queue.add (Buffer.contents pending) lines;
+        Buffer.clear pending
+      | c -> Buffer.add_char pending c
+    done
+  in
+  let rec loop () =
+    if not (Queue.is_empty lines) then begin
+      let line = Queue.pop lines in
+      if String.trim line <> "" then write_all fd (handle t line ^ "\n");
+      if not t.stop then loop ()
+    end
+    else if not t.stop then begin
+      if readable fd 0.25 then begin
+        let k = eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) in
+        if k > 0 then begin
+          feed k;
+          loop ()
+        end (* k = 0: EOF, client done *)
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+let listen_on addr =
+  match addr with
+  | Unix_sock path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Unix_sock path, fun () -> if Sys.file_exists path then Sys.remove path)
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Tcp p
+      | _ -> Tcp port
+    in
+    (fd, bound, fun () -> ())
+
+let run ?(install_signals = true) ?max_batch ?on_ready artifact addr =
+  let t = create ?max_batch artifact in
+  (* a client hanging up mid-response must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if install_signals then begin
+    let stop_on _ = t.stop <- true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on)
+  end;
+  let lfd, bound, cleanup = listen_on addr in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      cleanup ())
+    (fun () ->
+      Option.iter (fun f -> f bound) on_ready;
+      while not t.stop do
+        if readable lfd 0.25 then begin
+          match eintr (fun () -> Unix.accept lfd) with
+          | exception Unix.Unix_error _ -> ()
+          | cfd, _ ->
+            (* one bad client never kills the accept loop *)
+            (try serve_conn t cfd
+             with Unix.Unix_error _ | Failure _ | Sys_error _ ->
+               t.counters.errors <- t.counters.errors + 1);
+            (try Unix.close cfd with Unix.Unix_error _ -> ())
+        end
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+module Client = struct
+  type conn = {
+    fd : Unix.file_descr;
+    pending : Buffer.t;
+    chunk : Bytes.t;
+    lines : string Queue.t;
+  }
+
+  let sockaddr_of = function
+    | Unix_sock path -> Unix.ADDR_UNIX path
+    | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+  let connect ?(retries = 50) addr =
+    let sa = sockaddr_of addr in
+    let domain = match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+    let rec go n =
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match eintr (fun () -> Unix.connect fd sa) with
+      | () ->
+        { fd; pending = Buffer.create 1024; chunk = Bytes.create 65536;
+          lines = Queue.create () }
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n > 0
+        ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.1;
+        go (n - 1)
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    go retries
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let read_line c =
+    let rec go () =
+      if not (Queue.is_empty c.lines) then Some (Queue.pop c.lines)
+      else begin
+        let k = eintr (fun () -> Unix.read c.fd c.chunk 0 (Bytes.length c.chunk)) in
+        if k = 0 then None
+        else begin
+          for i = 0 to k - 1 do
+            match Bytes.get c.chunk i with
+            | '\n' ->
+              Queue.add (Buffer.contents c.pending) c.lines;
+              Buffer.clear c.pending
+            | ch -> Buffer.add_char c.pending ch
+          done;
+          go ()
+        end
+      end
+    in
+    go ()
+
+  let request c req =
+    match
+      write_all c.fd (Wire.print req ^ "\n");
+      read_line c
+    with
+    | Some line -> Wire.parse line
+    | None -> Error "connection closed by server"
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "socket error: %s" (Unix.error_message e))
+    | exception Failure msg -> Error msg
+
+  let ping c =
+    match request c (Wire.Obj [ ("op", Wire.String "ping") ]) with
+    | Ok resp -> Wire.member "ok" resp = Some (Wire.Bool true)
+    | Error _ -> false
+
+  let stats c = request c (Wire.Obj [ ("op", Wire.String "stats") ])
+
+  let predict c ?(robust = false) measured =
+    let req =
+      Wire.Obj
+        [
+          ("op", Wire.String "predict");
+          ("robust", Wire.Bool robust);
+          ("dies", Wire.mat_to_json measured);
+        ]
+    in
+    match request c req with
+    | Error msg -> Error msg
+    | Ok resp ->
+      if Wire.member "ok" resp <> Some (Wire.Bool true) then
+        Error
+          (match Wire.member "error" resp with
+           | Some (Wire.String msg) -> msg
+           | _ -> "server refused the request")
+      else begin
+        match Wire.member "predictions" resp with
+        | Some (Wire.List rows as preds) ->
+          let cols =
+            match rows with Wire.List cells :: _ -> List.length cells | _ -> 0
+          in
+          (match Wire.mat_of_json ~cols preds with
+           | Ok m -> Ok (m, resp)
+           | Error msg -> Error ("bad predictions payload: " ^ msg))
+        | _ -> Error "response carries no predictions"
+      end
+
+  let shutdown c =
+    match request c (Wire.Obj [ ("op", Wire.String "shutdown") ]) with
+    | Ok _ | Error _ -> ()
+end

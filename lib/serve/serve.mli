@@ -1,0 +1,110 @@
+(** The batched post-silicon prediction server.
+
+    [pathsel select] re-runs the whole pipeline (netlist -> SSTA ->
+    extraction -> SVD -> selection) on every invocation; this module is
+    the serving half the paper's amortization argument implies. A
+    long-running, single-process server loads one {!Store} artifact at
+    startup, keeps the predictor's precomputed factors hot (the dense
+    Theorem-2 weight matrix, and the Gram/cross blocks behind
+    {!Core.Robust}'s per-pattern Cholesky solves), and answers batches
+    of dies with one matrix-matrix apply instead of a per-die pipeline.
+
+    {2 Protocol}
+
+    Newline-delimited JSON over a Unix-domain or loopback TCP socket:
+    one request object per line, one response object per line.
+
+    {v
+    {"op":"ping"}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    {"op":"predict","dies":[[d11,...,d1r],...],"robust":true}
+    v}
+
+    [dies] is one row of [r] measured representative-path delays per
+    die; [null] entries are missing measurements. The optional
+    [robust] flag — or any missing entry — routes the batch through
+    {!Core.Robust} (MAD screen + per-survivor-pattern reduced solves on
+    the artifact's cached Gram blocks); clean unflagged batches take
+    the plain {!Core.Predictor} matrix path, and the two agree
+    bit-for-bit on clean data. Responses carry ["ok":true] with
+    per-batch results, or ["ok":false] with an error message and a
+    sysexits-style [code] — a malformed line poisons only its own
+    response, never the connection or the accept loop. *)
+
+module Wire : module type of Wire
+(** Re-export: [Serve] is the library's entry module, so the wire
+    format is reachable as [Serve.Wire] from outside. *)
+
+type address =
+  | Unix_sock of string  (** filesystem path of a Unix-domain socket *)
+  | Tcp of int           (** TCP port on 127.0.0.1; 0 = ephemeral *)
+
+val address_of_string : string -> (address, string) result
+(** ["path.sock"] or [":4242"] / ["tcp:4242"]. *)
+
+val address_to_string : address -> string
+
+(** {1 Server} *)
+
+type t
+(** Server state: artifact, predictors, counters, stop flag. *)
+
+val create : ?max_batch:int -> Store.t -> t
+(** Build the serving state: restores the Theorem-2 predictor and the
+    robust predictor from the artifact once, up front. [max_batch]
+    bounds the dies accepted per request (default 4096). *)
+
+val handle : t -> string -> string
+(** Process one request line into one response line (no trailing
+    newline). Never raises: parse errors, bad shapes, and numerical
+    failures all become ["ok":false] responses and count toward the
+    error counter. A ["shutdown"] request flips the stop flag. *)
+
+val stopping : t -> bool
+
+val run :
+  ?install_signals:bool ->
+  ?max_batch:int ->
+  ?on_ready:(address -> unit) ->
+  Store.t ->
+  address ->
+  unit
+(** Serve until a [shutdown] request or (with [install_signals], the
+    default) SIGINT/SIGTERM. The in-flight request is drained — its
+    response is written — before the loop exits; the Unix socket file
+    is removed on the way out. [on_ready] fires once listening, with
+    the bound address (the actual port when [Tcp 0] was requested).
+    Connections are handled sequentially; a failing connection is
+    dropped without disturbing the accept loop. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type conn
+
+  val connect : ?retries:int -> address -> conn
+  (** Retries [ECONNREFUSED]/[ENOENT] every 100 ms ([retries] times,
+      default 50) to absorb server startup; raises [Unix.Unix_error]
+      once exhausted. *)
+
+  val close : conn -> unit
+
+  val request : conn -> Wire.json -> (Wire.json, string) result
+  (** One round trip: print, send, read one line, parse. *)
+
+  val ping : conn -> bool
+
+  val stats : conn -> (Wire.json, string) result
+
+  val predict :
+    conn -> ?robust:bool -> Linalg.Mat.t -> (Linalg.Mat.t * Wire.json, string) result
+  (** Send a [dies x r] measurement batch; returns the
+      [dies x (n-r)] predictions plus the full response object
+      (screen/fallback counters live there). An ["ok":false] response
+      is the [Error] case. *)
+
+  val shutdown : conn -> unit
+  (** Best-effort: sends the request and reads the ack; errors are
+      swallowed (the server may die first). *)
+end

@@ -1,0 +1,46 @@
+(** The server's wire format: newline-delimited JSON.
+
+    Reuses {!Core.Report.json} as the value type (so CLI and tests
+    pattern-match one vocabulary) and adds the two halves the report
+    module does not need: a parser, and a {e round-trip-exact} printer.
+    {!Core.Report.to_string} prints floats at [%.12g] for human
+    consumption; predictions served to a tester must instead survive
+    print-then-parse bit-for-bit, so {!print} uses 17 significant
+    digits (sufficient for IEEE-754 doubles). Non-finite floats map to
+    [null] (JSON has no NaN); measurement decoding maps [null] back to
+    [nan], the library-wide missing-entry encoding. *)
+
+type json = Core.Report.json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val print : json -> string
+(** Compact, single-line, float-exact rendering. *)
+
+val parse : string -> (json, string) result
+(** Strict single-value JSON parser (objects, arrays, strings with
+    escapes, numbers, [true]/[false]/[null]); trailing garbage is an
+    error. Numbers without [./e] parse as [Int], others as [Float]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> json -> json option
+(** Field lookup; [None] when absent or when the value is not an
+    object. *)
+
+val to_float : json -> float option
+(** [Int], [Float], or [Null] (as [nan]); [None] otherwise. *)
+
+(** {1 Measurement matrices} *)
+
+val mat_to_json : Linalg.Mat.t -> json
+(** Row-per-die list of lists; non-finite entries become [Null]. *)
+
+val mat_of_json : cols:int -> json -> (Linalg.Mat.t, string) result
+(** Inverse of {!mat_to_json}: a non-empty list of equal-length numeric
+    rows, each of width [cols]; [Null] entries become [nan]. *)

@@ -1,0 +1,94 @@
+(** Persistent selection artifacts.
+
+    The paper's economics are one-time vs per-die: the SVD/QR selection
+    (Algorithms 1-3) runs {e once per design}, then every fabricated
+    die is predicted from a handful of measurements. This module makes
+    the split durable: everything a die-time predictor needs — the
+    {!Core.Select} result, the Theorem-2 weight matrix, the cached
+    Gram/cross blocks of the fault-tolerant predictor, the per-path
+    means, and the config/seed fingerprint that produced them — is
+    written to a versioned, checksummed binary file that a serving
+    process loads in milliseconds.
+
+    {2 File format (version 1)}
+
+    {v
+    offset  size  field
+    0       4     magic "PSA1"
+    4       4     format version, u32 LE
+    8       8     payload length, u64 LE
+    16      4     CRC-32 (IEEE) of the payload, u32 LE
+    20      -     payload
+    v}
+
+    The payload is a fixed positional sequence of length-prefixed
+    fields (see [store.ml]); all integers are little-endian, all floats
+    IEEE-754 doubles by bit pattern, so every value round-trips
+    {e exactly}. Versioning policy: the version is bumped on {e any}
+    payload layout change; readers refuse both older and newer versions
+    ({!Core.Errors.Version_mismatch}) rather than guess — artifacts are
+    cheap to regenerate from the design database, silent misreads are
+    not. A wrong magic is {!Core.Errors.Bad_magic}; truncation, a CRC
+    mismatch, or an inconsistent payload is
+    {!Core.Errors.Corrupt_artifact}. [load] never raises on bad input:
+    every failure is a typed [Error] with a sysexits code. *)
+
+type t = {
+  fingerprint : string;
+      (** free-form provenance: circuit, seeds, config of the producing
+          run — compared by operators, not parsed *)
+  t_cons : float;        (** timing constraint the selection targets *)
+  eps : float;           (** requested worst-case tolerance *)
+  kappa : float;         (** WC quantile multiplier used *)
+  n_paths : int;         (** target-pool size |P_tar| *)
+  n_segments : int;      (** segment count of the pool *)
+  n_vars : int;          (** variation-variable count *)
+  selection : Core.Select.t;
+  blocks : Core.Robust.blocks;
+      (** cached [A_r A_r^T] and [A_r A_m^T] for {!Core.Robust} *)
+  mu : Linalg.Vec.t;     (** full per-path mean vector, length [n_paths] *)
+}
+
+val magic : string
+
+val current_version : int
+
+val header_size : int
+(** Bytes before the payload: magic + version + length + CRC. *)
+
+val of_selection :
+  ?fingerprint:string ->
+  ?kappa:float ->
+  ?n_segments:int ->
+  t_cons:float ->
+  eps:float ->
+  a:Linalg.Mat.t ->
+  mu:Linalg.Vec.t ->
+  Core.Select.t ->
+  t
+(** Package a selection over sensitivity matrix [a] (paths x variables)
+    and mean vector [mu]. Computes the robust predictor's Gram/cross
+    blocks from [a]; raises [Invalid_argument] on dimension mismatch. *)
+
+val predictor : t -> Core.Predictor.t
+(** The stored Theorem-2 predictor (shared with [selection.predictor]). *)
+
+val robust : t -> Core.Robust.t
+(** The fault-tolerant predictor reassembled from the stored blocks —
+    no access to [A] needed. *)
+
+val to_bytes : t -> string
+
+val of_bytes : ?file:string -> string -> (t, Core.Errors.t) result
+(** [file] tags the typed error (default ["<bytes>"]). *)
+
+val save : string -> t -> (unit, Core.Errors.t) result
+
+val load : string -> (t, Core.Errors.t) result
+
+val equal : t -> t -> bool
+(** Bit-exact equality of every stored field (NaN-safe: compares float
+    bit patterns, not values). *)
+
+val describe : t -> string
+(** Multi-line human-readable summary for [pathsel inspect]. *)

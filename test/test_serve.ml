@@ -1,0 +1,259 @@
+(* Integration: the prediction server on a real Unix-domain socket,
+   checked bit-for-bit against the in-process predictors, plus wire
+   format round trips and per-connection error isolation. *)
+
+let artifact =
+  lazy
+    (let nl =
+       Circuit.Generator.generate
+         { Circuit.Generator.default with num_gates = 90; seed = 23; depth = 8;
+           num_inputs = 10; num_outputs = 8 }
+     in
+     let model = Timing.Variation.make_model ~levels:3 () in
+     let dm = Timing.Delay_model.build nl model in
+     let t_cons = Timing.Delay_model.nominal_critical_delay dm in
+     let r =
+       Timing.Path_extract.extract ~max_paths:400 dm ~t_cons ~yield_threshold:0.99
+     in
+     let pool = Timing.Paths.build dm r.Timing.Path_extract.paths in
+     let a = Timing.Paths.a_mat pool in
+     let mu = Timing.Paths.mu_paths pool in
+     let sel = Core.Select.exact ~a ~mu () in
+     let mc = Timing.Monte_carlo.sample (Rng.create 99) pool ~n:40 in
+     let d = Timing.Monte_carlo.path_delays mc in
+     let rep = Core.Predictor.rep_indices sel.Core.Select.predictor in
+     let clean = Linalg.Mat.select_cols d rep in
+     let store =
+       Store.of_selection ~fingerprint:"test:serve"
+         ~n_segments:(Timing.Paths.num_segments pool)
+         ~t_cons ~eps:0.05 ~a ~mu sel
+     in
+     (store, clean))
+
+let bits_equal m1 m2 =
+  Linalg.Mat.dims m1 = Linalg.Mat.dims m2
+  &&
+  let r, c = Linalg.Mat.dims m1 in
+  try
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        if
+          Int64.bits_of_float (Linalg.Mat.get m1 i j)
+          <> Int64.bits_of_float (Linalg.Mat.get m2 i j)
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+(* run the real accept loop on a background thread; the client drives
+   it over the socket and shuts it down at the end *)
+let with_server f =
+  let store, clean = Lazy.force artifact in
+  let dir = Filename.temp_file "pathsel-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let addr = Serve.Unix_sock path in
+  let thread =
+    Thread.create (fun () -> Serve.run ~install_signals:false store addr) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Serve.Client.connect ~retries:5 addr in
+         Serve.Client.shutdown c;
+         Serve.Client.close c
+       with _ -> ());
+      Thread.join thread;
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f store clean addr)
+
+(* raw line-level access, for sending deliberately malformed requests *)
+let raw_connect path =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when tries > 0 ->
+      Unix.close fd;
+      Thread.delay 0.1;
+      go (tries - 1)
+  in
+  go 50
+
+let raw_roundtrip fd line =
+  let msg = Bytes.of_string (line ^ "\n") in
+  ignore (Unix.write fd msg 0 (Bytes.length msg));
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec read_line () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then Buffer.contents buf
+    else begin
+      let s = Bytes.sub_string chunk 0 n in
+      match String.index_opt s '\n' with
+      | Some i ->
+        Buffer.add_string buf (String.sub s 0 i);
+        Buffer.contents buf
+      | None ->
+        Buffer.add_string buf s;
+        read_line ()
+    end
+  in
+  read_line ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let open Serve.Wire in
+  let samples =
+    [
+      Null;
+      Bool true;
+      Int (-42);
+      Float 1.0e-17;
+      Float 425.00000000000301;
+      String "a \"quoted\" \\ line\nwith\tcontrol \x01 bytes";
+      List [ Int 1; Null; Float Float.pi ];
+      Obj [ ("op", String "predict"); ("dies", List [ List [ Float 1.5 ] ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match parse (print j) with
+      | Ok j' -> Alcotest.(check bool) "parse (print j) = j" true (j = j')
+      | Error m -> Alcotest.failf "re-parse failed: %s on %s" m (print j))
+    samples;
+  (match parse "{\"a\":1} trailing" with
+   | Ok _ -> Alcotest.fail "trailing garbage accepted"
+   | Error _ -> ());
+  match parse "[1," with
+  | Ok _ -> Alcotest.fail "unterminated array accepted"
+  | Error _ -> ()
+
+let test_wire_float_bits () =
+  (* %.17g must reproduce arbitrary doubles exactly *)
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = ((2.0 *. Rng.float rng) -. 1.0) *. 1e6 in
+    match Serve.Wire.parse (Serve.Wire.print (Serve.Wire.Float x)) with
+    | Ok (Serve.Wire.Float y) ->
+      if Int64.bits_of_float x <> Int64.bits_of_float y then
+        Alcotest.failf "float %h lost bits -> %h" x y
+    | Ok j -> Alcotest.failf "float re-parsed as %s" (Serve.Wire.print j)
+    | Error m -> Alcotest.failf "float re-parse error: %s" m
+  done
+
+let test_clean_batch_bit_identical () =
+  with_server (fun store clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      Alcotest.(check bool) "ping" true (Serve.Client.ping c);
+      match Serve.Client.predict c clean with
+      | Error m -> Alcotest.failf "predict failed: %s" m
+      | Ok (served, resp) ->
+        let expected =
+          Core.Predictor.predict_all (Store.predictor store) ~measured:clean
+        in
+        Alcotest.(check bool) "bit-identical to Predictor.predict_all" true
+          (bits_equal served expected);
+        (match Serve.Wire.member "robust" resp with
+         | Some (Serve.Wire.Bool false) -> ()
+         | _ -> Alcotest.fail "clean batch should take the plain path"))
+
+let test_faulty_batch_matches_robust () =
+  with_server (fun store clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let faulty = Linalg.Mat.copy clean in
+      let _, cols = Linalg.Mat.dims faulty in
+      Linalg.Mat.set faulty 1 (cols - 1) Float.nan;
+      match Serve.Client.predict c faulty with
+      | Error m -> Alcotest.failf "predict failed: %s" m
+      | Ok (served, resp) ->
+        let expected =
+          Core.Robust.predict_all (Store.robust store) ~measured:faulty
+        in
+        Alcotest.(check bool) "bit-identical to Robust.predict_all" true
+          (bits_equal served expected.Core.Robust.predicted);
+        (match Serve.Wire.member "robust" resp with
+         | Some (Serve.Wire.Bool true) -> ()
+         | _ -> Alcotest.fail "NaN entry should route through Robust");
+        match Serve.Wire.member "screen" resp with
+        | Some (Serve.Wire.Obj _) -> ()
+        | _ -> Alcotest.fail "robust response should carry screen counters")
+
+let test_malformed_line_isolated () =
+  with_server (fun _store clean addr ->
+      let path = match addr with Serve.Unix_sock p -> p | Serve.Tcp _ -> assert false in
+      let fd = raw_connect path in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      (* a mixed session on ONE connection: garbage, then wrong shapes,
+         then a clean batch — only the bad lines get error responses *)
+      let r1 = raw_roundtrip fd "this is not json" in
+      Alcotest.(check bool) "garbage -> ok:false" true
+        (String.length r1 > 0
+        && Serve.Wire.(
+             match parse r1 with
+             | Ok j -> member "ok" j = Some (Bool false)
+             | Error _ -> false));
+      let r2 = raw_roundtrip fd "{\"op\":\"predict\",\"dies\":[[1,2,3,4,5,6,7,8,9]]}" in
+      (match Serve.Wire.parse r2 with
+       | Ok j ->
+         Alcotest.(check bool) "wrong width -> ok:false" true
+           (Serve.Wire.member "ok" j = Some (Serve.Wire.Bool false));
+         (match Serve.Wire.member "code" j with
+          | Some (Serve.Wire.Int 65) -> ()
+          | _ -> Alcotest.fail "bad data should carry sysexits code 65")
+       | Error m -> Alcotest.failf "unparseable error response: %s" m);
+      let r3 = raw_roundtrip fd "{\"op\":\"ping\"}" in
+      (match Serve.Wire.parse r3 with
+       | Ok j ->
+         Alcotest.(check bool) "connection survives bad lines" true
+           (Serve.Wire.member "ok" j = Some (Serve.Wire.Bool true))
+       | Error m -> Alcotest.failf "ping after errors failed: %s" m);
+      ignore clean)
+
+let test_stats_counters () =
+  with_server (fun _store clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      ignore (Serve.Client.ping c);
+      (match Serve.Client.predict c clean with
+       | Ok _ -> ()
+       | Error m -> Alcotest.failf "predict failed: %s" m);
+      match Serve.Client.stats c with
+      | Error m -> Alcotest.failf "stats failed: %s" m
+      | Ok j ->
+        let dies, _ = Linalg.Mat.dims clean in
+        (match Serve.Wire.member "dies_predicted" j with
+         | Some (Serve.Wire.Int n) ->
+           Alcotest.(check int) "dies_predicted" dies n
+         | _ -> Alcotest.fail "stats missing dies_predicted");
+        (match Serve.Wire.member "errors" j with
+         | Some (Serve.Wire.Int 0) -> ()
+         | _ -> Alcotest.fail "unexpected errors counted");
+        match Serve.Wire.member "latency_ms" j with
+        | Some (Serve.Wire.Obj fields) ->
+          Alcotest.(check bool) "latency quantiles present" true
+            (List.mem_assoc "p99" fields && List.mem_assoc "mean" fields)
+        | _ -> Alcotest.fail "stats missing latency_ms")
+
+let suites =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "wire round trip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "wire floats keep their bits" `Quick
+          test_wire_float_bits;
+        Alcotest.test_case "clean batch bit-identical over socket" `Quick
+          test_clean_batch_bit_identical;
+        Alcotest.test_case "faulty batch matches Robust" `Quick
+          test_faulty_batch_matches_robust;
+        Alcotest.test_case "malformed lines poison only themselves" `Quick
+          test_malformed_line_isolated;
+        Alcotest.test_case "stats counters" `Quick test_stats_counters;
+      ] );
+  ]
