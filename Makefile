@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke bench bench-e14 doc clean
+.PHONY: all build test smoke perf-smoke bench bench-e14 bench-e15 doc clean
 
 all: build
 
@@ -21,6 +21,17 @@ bench:
 # E14 serving-throughput experiment; emits BENCH_e14.json in the repo root.
 bench-e14:
 	dune exec bench/main.exe -- e14
+
+# E15 domain-pool scaling experiment; emits BENCH_e15.json in the repo root.
+bench-e15:
+	dune exec bench/main.exe -- e15
+
+# Scaled-down E15 as a CI gate (< 30s): fails if any parallel kernel is
+# not bit-identical to serial, or (on hosts with >= 2 cores) if the
+# 4-domain matmul speedup falls below 2x. Single-core hosts check
+# equivalence only.
+perf-smoke:
+	dune exec bench/main.exe -- --smoke
 
 doc:
 	dune build @doc

@@ -31,6 +31,43 @@ let micro_fixture =
      let svd = Linalg.Svd.factor a in
      (setup, a, mu, svd))
 
+(* Unblocked triple loop, kept here only as the baseline row for the
+   kernel benchmarks below. *)
+let naive_mul a b =
+  let m, k = Linalg.Mat.dims a in
+  let k2, n = Linalg.Mat.dims b in
+  assert (k = k2);
+  Linalg.Mat.init m n (fun i j ->
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc := !acc +. (Linalg.Mat.get a i p *. Linalg.Mat.get b p j)
+      done;
+      !acc)
+
+(* Dense-kernel rows: naive serial vs the cache-blocked kernel at 1 and
+   4 pool domains. Each row carries the pool size to install before the
+   measurement (None = leave the pool alone). *)
+let kernel_tests () =
+  let open Bechamel in
+  let rng = Rng.create 41 in
+  let dim = 256 in
+  let a = Linalg.Mat.init dim dim (fun _ _ -> Rng.gaussian rng) in
+  let b = Linalg.Mat.init dim dim (fun _ _ -> Rng.gaussian rng) in
+  let at d name f = (Some d, Test.make ~name (Staged.stage f)) in
+  [
+    (None,
+     Test.make ~name:"kernel:mul-naive-serial"
+       (Staged.stage (fun () -> ignore (naive_mul a b))));
+    at 1 "kernel:mul-blocked-1dom" (fun () -> ignore (Linalg.Mat.mul a b));
+    at 4 "kernel:mul-blocked-4dom" (fun () -> ignore (Linalg.Mat.mul a b));
+    at 1 "kernel:mul_nt-1dom" (fun () -> ignore (Linalg.Mat.mul_nt a b));
+    at 4 "kernel:mul_nt-4dom" (fun () -> ignore (Linalg.Mat.mul_nt a b));
+    at 1 "kernel:mul_tn-1dom" (fun () -> ignore (Linalg.Mat.mul_tn a b));
+    at 4 "kernel:mul_tn-4dom" (fun () -> ignore (Linalg.Mat.mul_tn a b));
+    at 1 "kernel:gram-1dom" (fun () -> ignore (Linalg.Mat.gram a));
+    at 4 "kernel:gram-4dom" (fun () -> ignore (Linalg.Mat.gram a));
+  ]
+
 let micro_tests () =
   let open Bechamel in
   let setup, a, mu, svd = Lazy.force micro_fixture in
@@ -88,17 +125,27 @@ let run_micro () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) () in
   let analyze = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg [ instance ] test in
-      let results = Analyze.all analyze instance raw in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-46s %12.3f ms/run\n%!" name (est /. 1e6)
-          | Some _ | None -> Printf.printf "%-46s (no estimate)\n%!" name)
-        results)
-    (micro_tests ())
+  let run_one (domains, test) =
+    (match domains with None -> () | Some d -> Par.Pool.set_size d);
+    let raw = Benchmark.all cfg [ instance ] test in
+    let results = Analyze.all analyze instance raw in
+    Hashtbl.iter
+      (fun name ols ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Printf.printf "%-46s %12.3f ms/run\n%!" name (est /. 1e6)
+        | Some _ | None -> Printf.printf "%-46s (no estimate)\n%!" name)
+      results
+  in
+  List.iter run_one (List.map (fun t -> (None, t)) (micro_tests ()));
+  (* lower the grain threshold so the 256x256 kernel rows exercise the
+     parallel path; restore it afterwards *)
+  let saved_threshold = Linalg.Mat.par_threshold_value () in
+  let saved_domains = Par.Pool.size () in
+  Linalg.Mat.set_par_threshold 10_000;
+  Fun.protect ~finally:(fun () ->
+      Linalg.Mat.set_par_threshold saved_threshold;
+      Par.Pool.set_size saved_domains)
+  @@ fun () -> List.iter run_one (kernel_tests ())
 
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -131,19 +178,43 @@ let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
     ( "e14",
       "E14 -- serving throughput: cold pipeline vs warm batched server",
       fun p -> ignore (Experiments.Serve_exp.run ~out:"BENCH_e14.json" p) );
+    ( "e15",
+      "E15 -- domain-pool scaling: kernels and end-to-end pipeline",
+      fun p -> ignore (Experiments.Scaling.run ~out:"BENCH_e15.json" p) );
     ("micro", "micro-benchmarks", fun _ -> run_micro ());
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [%s|all] [--full]\n"
+  Printf.printf
+    "usage: main.exe [%s|all] [--full] [--smoke] [--domains N]\n"
     (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
+  let args =
+    let rec strip_domains = function
+      | "--domains" :: n :: rest ->
+        (match int_of_string_opt n with
+         | Some d when d >= 1 -> Par.Pool.set_size d
+         | _ -> usage ());
+        strip_domains rest
+      | a :: rest -> a :: strip_domains rest
+      | [] -> []
+    in
+    strip_domains args
+  in
   let profile = if full then Experiments.Profile.full else Experiments.Profile.quick in
+  (* [e15 --smoke] is the perf-smoke CI gate: scaled-down sweep, no JSON
+     file, nonzero exit when equivalence (or, on multicore hosts, the
+     speedup floor) fails. *)
+  if smoke then begin
+    let r = Experiments.Scaling.run ~smoke:true profile in
+    exit (if r.Experiments.Scaling.ok then 0 else 1)
+  end;
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;
   let t0 = Unix.gettimeofday () in

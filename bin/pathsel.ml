@@ -30,6 +30,21 @@ let handle f =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker-domain pool size for the parallel kernels. Default: the \
+                 $(b,PATHSEL_DOMAINS) environment variable, else the machine's \
+                 core count. Results are bit-identical at every value; only \
+                 wall-clock changes.")
+
+let set_domains = function
+  | None -> ()
+  | Some d ->
+    if d < 1 then
+      Core.Errors.raise_error (Core.Errors.Invalid_input "--domains must be >= 1")
+    else Par.Pool.set_size d
+
 let eps_arg default =
   Arg.(value & opt float default
        & info [ "eps" ] ~docv:"EPS" ~doc:"Worst-case error tolerance (fraction).")
@@ -172,9 +187,10 @@ let select_cmd =
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Exact selection (r = rank A).")
   in
-  let run circuit scale seed levels random_boost tscale max_paths eps exact liberty
-      report lenient faults =
+  let run domains circuit scale seed levels random_boost tscale max_paths eps exact
+      liberty report lenient faults =
    handle @@ fun () ->
+    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
@@ -259,16 +275,17 @@ let select_cmd =
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Representative path selection (Algorithm 1).")
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
           $ liberty_arg $ report_arg $ lenient_arg $ faults_arg)
 
 (* ---------------- hybrid ---------------- *)
 
 let hybrid_cmd =
-  let run circuit scale seed levels random_boost tscale max_paths eps liberty report
-      lenient =
+  let run domains circuit scale seed levels random_boost tscale max_paths eps
+      liberty report lenient =
    handle @@ fun () ->
+    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
@@ -297,7 +314,7 @@ let hybrid_cmd =
   in
   Cmd.v
     (Cmd.info "hybrid" ~doc:"Hybrid path/segment selection (Algorithm 3).")
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.08
           $ liberty_arg $ report_arg $ lenient_arg)
 
@@ -307,8 +324,10 @@ let spectrum_cmd =
   let count =
     Arg.(value & opt int 30 & info [ "count" ] ~doc:"Singular values to print.")
   in
-  let run circuit scale seed levels random_boost tscale max_paths count lenient =
+  let run domains circuit scale seed levels random_boost tscale max_paths count
+      lenient =
    handle @@ fun () ->
+    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty:None ()
@@ -323,7 +342,7 @@ let spectrum_cmd =
   in
   Cmd.v
     (Cmd.info "spectrum" ~doc:"Normalized singular values of A (Figure 2 data).")
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ count $ lenient_arg)
 
 (* ---------------- sdf ---------------- *)
@@ -354,8 +373,10 @@ let diagnose_cmd =
   let top =
     Arg.(value & opt int 8 & info [ "top" ] ~doc:"Attributions to print.")
   in
-  let run circuit scale seed levels random_boost tscale max_paths die_seed top =
+  let run domains circuit scale seed levels random_boost tscale max_paths die_seed
+      top =
    handle @@ fun () ->
+    set_domains domains;
     let setup =
       prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths
         ~liberty:None ()
@@ -388,7 +409,7 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Fabricate one Monte-Carlo die, measure the representative paths, and \
              attribute its process deviations (post-silicon diagnosis).")
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ die_seed $ top)
 
 (* ---------------- prediction service: save / inspect / serve / client ------ *)
@@ -422,9 +443,10 @@ let save_cmd =
     Arg.(value & opt string "selection.psa"
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Artifact output path.")
   in
-  let run circuit scale seed levels random_boost tscale max_paths eps exact liberty
-      lenient output =
+  let run domains circuit scale seed levels random_boost tscale max_paths eps exact
+      liberty lenient output =
    handle @@ fun () ->
+    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
@@ -463,7 +485,7 @@ let save_cmd =
     (Cmd.info "save"
        ~doc:"Run the selection pipeline once and persist everything die-time \
              prediction needs as a versioned, checksummed artifact.")
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
           $ liberty_arg $ lenient_arg $ output)
 
@@ -491,8 +513,9 @@ let serve_cmd =
              ~doc:"Fork the server, ping it over the socket, shut it down, and exit; \
                    a CI-able one-shot liveness probe.")
   in
-  let run path socket port max_batch self_check =
+  let run domains path socket port max_batch self_check =
    handle @@ fun () ->
+    set_domains domains;
     let artifact =
       match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
     in
@@ -533,7 +556,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve batched die-delay predictions from a saved artifact over a \
              Unix-domain or TCP socket (newline-delimited JSON).")
-    Term.(const run $ artifact_pos $ socket_arg $ port_arg $ max_batch $ self_check)
+    Term.(const run $ domains_arg $ artifact_pos $ socket_arg $ port_arg $ max_batch
+          $ self_check)
 
 let client_cmd =
   let op =
@@ -647,7 +671,9 @@ let profile_arg =
        & info [ "profile" ] ~doc:"Experiment profile: quick or full.")
 
 let experiment_cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun p -> f p) $ profile_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun domains p -> set_domains domains; f p)
+          $ domains_arg $ profile_arg)
 
 let table1_cmd =
   experiment_cmd "table1" "Regenerate the paper's Table 1." (fun p ->

@@ -29,7 +29,8 @@ let solve ?(stop = default_stop) p ~init =
      for it = 1 to stop.max_iter do
        iters := it;
        let g = p.grad_f !y in
-       let candidate = p.prox_g (Linalg.Mat.sub !y (Linalg.Mat.scale step g)) step in
+       (* fused y - step*g: same fp ops as sub (scale step g), one pass *)
+       let candidate = p.prox_g (Linalg.Mat.sub_scaled !y step g) step in
        let f_candidate = p.objective candidate in
        (* function-value restart: if the objective went up, restart the
           momentum from the last good iterate *)
@@ -41,8 +42,10 @@ let solve ?(stop = default_stop) p ~init =
          let t_next = (1.0 +. sqrt (1.0 +. (4.0 *. !tk *. !tk))) /. 2.0 in
          let beta = (!tk -. 1.0) /. t_next in
          let momentum =
-           Linalg.Mat.add candidate
-             (Linalg.Mat.scale beta (Linalg.Mat.sub candidate !x))
+           (* candidate + beta*(candidate - x), two allocations not three *)
+           let m = Linalg.Mat.copy candidate in
+           Linalg.Mat.axpy ~alpha:beta (Linalg.Mat.sub candidate !x) m;
+           m
          in
          let rel = Float.abs (!fx -. f_candidate) /. Float.max 1e-12 (Float.abs !fx) in
          x := candidate;

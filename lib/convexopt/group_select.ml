@@ -74,7 +74,12 @@ let select ?(options = default_options) ~sigma ~g1 ~bounds ~kappa () =
   let q = Linalg.Mat.gram sigma in  (* n_S x n_S; grad f(B) = (B - G1) Q *)
   let lips = Float.max 1e-12 (Fista.power_iteration_norm q) in
   let g1q = Linalg.Mat.mul g1 q in
-  let grad_f b = Linalg.Mat.sub (Linalg.Mat.mul b q) g1q in
+  let grad_f b =
+    (* the product is fresh; subtract the constant term in place *)
+    let p = Linalg.Mat.mul b q in
+    Linalg.Mat.sub_into ~into:p p g1q;
+    p
+  in
   let smooth b =
     let d = Linalg.Mat.sub g1 b in
     let e = Linalg.Mat.mul d sigma in

@@ -31,7 +31,9 @@ let build ~a ~mu ~rep =
   let a_r = Linalg.Mat.select_rows a rep in
   let a_m = Linalg.Mat.select_rows a rem in
   (* W = A_m A_r^T (A_r A_r^T)^+ ; computed as the transpose of the Gram
-     solve (A_r A_r^T) W^T = A_r A_m^T, robust to a singular Gram. *)
+     solve (A_r A_r^T) W^T = A_r A_m^T, robust to a singular Gram. The
+     Gram and cross blocks assemble on the domain pool (Mat.gram /
+     Mat.mul_nt are row-band parallel). *)
   let gram = Linalg.Mat.gram a_r in
   let cross = Linalg.Mat.mul_nt a_r a_m in  (* r x (n-r) *)
   let wt = Linalg.Pinv.solve_gram gram cross in
@@ -61,15 +63,13 @@ let predict t ~measured =
   Linalg.Vec.add t.mu_rem (Linalg.Mat.apply t.w centered)
 
 let predict_all t ~measured =
-  let n_samples, r = Linalg.Mat.dims measured in
+  let _, r = Linalg.Mat.dims measured in
   if r <> Array.length t.rep then
     invalid_arg "Predictor.predict_all: measurement width mismatch";
-  let centered =
-    Linalg.Mat.init n_samples r (fun i j -> Linalg.Mat.get measured i j -. t.mu_rep.(j))
-  in
+  let centered = Linalg.Mat.sub_row_vec measured t.mu_rep in
   let pred = Linalg.Mat.mul_nt centered t.w in  (* n_samples x (n-r) *)
-  Linalg.Mat.init n_samples (Array.length t.rem) (fun i j ->
-      Linalg.Mat.get pred i j +. t.mu_rem.(j))
+  Linalg.Mat.add_row_vec_into pred t.mu_rem;
+  pred
 
 let error_operator t = t.omega
 

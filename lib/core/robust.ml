@@ -13,6 +13,7 @@ let build ~a ~mu ~rep =
   let rem = Predictor.rem_indices base in
   let a_r = Linalg.Mat.select_rows a rep in
   let a_m = Linalg.Mat.select_rows a rem in
+  (* gram/cross assemble on the domain pool, same as Predictor.build *)
   {
     base;
     rep = Array.copy rep;

@@ -83,13 +83,108 @@ let check_same name a b =
 
 let add a b =
   check_same "add" a b;
-  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+  let c = { a with data = Array.copy a.data } in
+  let cd = c.data and bd = b.data in
+  for k = 0 to Array.length cd - 1 do
+    Array.unsafe_set cd k (Array.unsafe_get cd k +. Array.unsafe_get bd k)
+  done;
+  c
 
 let sub a b =
   check_same "sub" a b;
-  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+  let c = { a with data = Array.copy a.data } in
+  let cd = c.data and bd = b.data in
+  for k = 0 to Array.length cd - 1 do
+    Array.unsafe_set cd k (Array.unsafe_get cd k -. Array.unsafe_get bd k)
+  done;
+  c
 
-let scale s m = { m with data = Array.map (fun v -> s *. v) m.data }
+let sub_into ~into a b =
+  check_same "sub_into" a b;
+  check_same "sub_into" a into;
+  let dd = into.data and ad = a.data and bd = b.data in
+  for k = 0 to Array.length dd - 1 do
+    Array.unsafe_set dd k (Array.unsafe_get ad k -. Array.unsafe_get bd k)
+  done
+
+let scale s m =
+  let c = { m with data = Array.copy m.data } in
+  let cd = c.data in
+  for k = 0 to Array.length cd - 1 do
+    Array.unsafe_set cd k (s *. Array.unsafe_get cd k)
+  done;
+  c
+
+let scale_into ~into s m =
+  check_same "scale_into" m into;
+  let dd = into.data and md = m.data in
+  for k = 0 to Array.length dd - 1 do
+    Array.unsafe_set dd k (s *. Array.unsafe_get md k)
+  done
+
+let axpy ~alpha x y =
+  check_same "axpy" x y;
+  let xd = x.data and yd = y.data in
+  for k = 0 to Array.length yd - 1 do
+    Array.unsafe_set yd k (Array.unsafe_get yd k +. (alpha *. Array.unsafe_get xd k))
+  done
+
+let sub_scaled a s b =
+  check_same "sub_scaled" a b;
+  let c = { a with data = Array.copy a.data } in
+  let cd = c.data and bd = b.data in
+  for k = 0 to Array.length cd - 1 do
+    Array.unsafe_set cd k (Array.unsafe_get cd k -. (s *. Array.unsafe_get bd k))
+  done;
+  c
+
+let add_row_vec_into m v =
+  if Array.length v <> m.cols then
+    invalid_arg "Mat.add_row_vec_into: dimension mismatch";
+  let d = m.data in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set d (base + j) (Array.unsafe_get d (base + j) +. Array.unsafe_get v j)
+    done
+  done
+
+let sub_row_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.sub_row_vec: dimension mismatch";
+  let c = { m with data = Array.copy m.data } in
+  let d = c.data in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set d (base + j) (Array.unsafe_get d (base + j) -. Array.unsafe_get v j)
+    done
+  done;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Dense products: cache-blocked, row-band parallel.
+
+   Every kernel parallelizes over disjoint bands of *output* rows, and
+   within a band runs the exact same inner loops (same floating-point
+   evaluation order per output element) as the serial fallback, so
+   results are bit-identical at any pool size. Blocking only re-tiles
+   the traversal; per-element accumulation stays in ascending-k order. *)
+
+(* Products below this flop count stay serial: domain wake-up costs more
+   than the work. Tests lower it to force the parallel path on tiny
+   matrices. *)
+let par_threshold = ref 200_000
+
+let set_par_threshold n = par_threshold := max 0 n
+
+let par_threshold_value () = !par_threshold
+
+(* rows per chunk so that one chunk is ~[par_threshold] flops *)
+let row_grain per_row_flops = max 1 (!par_threshold / max 1 per_row_flops)
+
+(* keep the [c] row segment plus the streamed [b] row segment resident
+   in L1: 2 x 1024 doubles = 16 KiB *)
+let j_block = 1024
 
 (* ikj loop order: the inner loop streams over contiguous rows of [b] and
    [c], which is what makes large products affordable in pure OCaml. *)
@@ -98,19 +193,31 @@ let mul a b =
     invalid_arg (Printf.sprintf "Mat.mul: %dx%d times %dx%d" a.rows a.cols b.rows b.cols);
   let c = create a.rows b.cols in
   let n = b.cols in
-  for i = 0 to a.rows - 1 do
-    let abase = i * a.cols in
-    let cbase = i * n in
-    for k = 0 to a.cols - 1 do
-      let aik = a.data.(abase + k) in
-      if aik <> 0.0 then begin
-        let bbase = k * n in
-        for j = 0 to n - 1 do
-          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
-        done
-      end
+  let kk = a.cols in
+  let ad = a.data and bd = b.data and cd = c.data in
+  let band ilo ihi =
+    for i = ilo to ihi - 1 do
+      let abase = i * kk in
+      let cbase = i * n in
+      let jb = ref 0 in
+      while !jb < n do
+        let jhi = min n (!jb + j_block) in
+        for k = 0 to kk - 1 do
+          let aik = Array.unsafe_get ad (abase + k) in
+          if aik <> 0.0 then begin
+            let bbase = k * n in
+            for j = !jb to jhi - 1 do
+              Array.unsafe_set cd (cbase + j)
+                (Array.unsafe_get cd (cbase + j)
+                 +. (aik *. Array.unsafe_get bd (bbase + j)))
+            done
+          end
+        done;
+        jb := jhi
+      done
     done
-  done;
+  in
+  Par.Pool.parallel_chunks ~grain:(row_grain (2 * kk * n)) 0 a.rows band;
   c
 
 let mul_nt a b =
@@ -118,18 +225,44 @@ let mul_nt a b =
     invalid_arg (Printf.sprintf "Mat.mul_nt: %dx%d times (%dx%d)^T"
                    a.rows a.cols b.rows b.cols);
   let c = create a.rows b.rows in
-  for i = 0 to a.rows - 1 do
-    let abase = i * a.cols in
-    let cbase = i * b.rows in
-    for j = 0 to b.rows - 1 do
-      let bbase = j * b.cols in
-      let acc = ref 0.0 in
-      for k = 0 to a.cols - 1 do
-        acc := !acc +. (a.data.(abase + k) *. b.data.(bbase + k))
+  let kk = a.cols in
+  let nr = b.rows in
+  let ad = a.data and bd = b.data and cd = c.data in
+  (* 4 dot products per pass share one streaming read of [a]'s row *)
+  let band ilo ihi =
+    for i = ilo to ihi - 1 do
+      let abase = i * kk in
+      let cbase = i * nr in
+      let j = ref 0 in
+      while !j + 3 < nr do
+        let b0 = !j * kk and b1 = (!j + 1) * kk and b2 = (!j + 2) * kk
+        and b3 = (!j + 3) * kk in
+        let acc0 = ref 0.0 and acc1 = ref 0.0 and acc2 = ref 0.0 and acc3 = ref 0.0 in
+        for k = 0 to kk - 1 do
+          let av = Array.unsafe_get ad (abase + k) in
+          acc0 := !acc0 +. (av *. Array.unsafe_get bd (b0 + k));
+          acc1 := !acc1 +. (av *. Array.unsafe_get bd (b1 + k));
+          acc2 := !acc2 +. (av *. Array.unsafe_get bd (b2 + k));
+          acc3 := !acc3 +. (av *. Array.unsafe_get bd (b3 + k))
+        done;
+        Array.unsafe_set cd (cbase + !j) !acc0;
+        Array.unsafe_set cd (cbase + !j + 1) !acc1;
+        Array.unsafe_set cd (cbase + !j + 2) !acc2;
+        Array.unsafe_set cd (cbase + !j + 3) !acc3;
+        j := !j + 4
       done;
-      c.data.(cbase + j) <- !acc
+      while !j < nr do
+        let bbase = !j * kk in
+        let acc = ref 0.0 in
+        for k = 0 to kk - 1 do
+          acc := !acc +. (Array.unsafe_get ad (abase + k) *. Array.unsafe_get bd (bbase + k))
+        done;
+        Array.unsafe_set cd (cbase + !j) !acc;
+        incr j
+      done
     done
-  done;
+  in
+  Par.Pool.parallel_chunks ~grain:(row_grain (2 * kk * nr)) 0 a.rows band;
   c
 
 let mul_tn a b =
@@ -137,35 +270,53 @@ let mul_tn a b =
     invalid_arg (Printf.sprintf "Mat.mul_tn: (%dx%d)^T times %dx%d"
                    a.rows a.cols b.rows b.cols);
   let c = create a.cols b.cols in
-  for k = 0 to a.rows - 1 do
-    let abase = k * a.cols in
-    let bbase = k * b.cols in
-    for i = 0 to a.cols - 1 do
-      let aki = a.data.(abase + i) in
-      if aki <> 0.0 then begin
-        let cbase = i * b.cols in
-        for j = 0 to b.cols - 1 do
-          c.data.(cbase + j) <- c.data.(cbase + j) +. (aki *. b.data.(bbase + j))
-        done
-      end
+  let nr = a.rows in
+  let nc = b.cols in
+  let ad = a.data and bd = b.data and cd = c.data in
+  (* bands over output rows i (= columns of a); the k sweep stays
+     outermost inside a band so [b]'s rows stream contiguously *)
+  let band ilo ihi =
+    for k = 0 to nr - 1 do
+      let abase = k * a.cols in
+      let bbase = k * nc in
+      for i = ilo to ihi - 1 do
+        let aki = Array.unsafe_get ad (abase + i) in
+        if aki <> 0.0 then begin
+          let cbase = i * nc in
+          for j = 0 to nc - 1 do
+            Array.unsafe_set cd (cbase + j)
+              (Array.unsafe_get cd (cbase + j)
+               +. (aki *. Array.unsafe_get bd (bbase + j)))
+          done
+        end
+      done
     done
-  done;
+  in
+  Par.Pool.parallel_chunks ~grain:(row_grain (2 * nr * nc)) 0 a.cols band;
   c
 
 let gram a =
   let c = create a.rows a.rows in
-  for i = 0 to a.rows - 1 do
-    let ibase = i * a.cols in
-    for j = i to a.rows - 1 do
-      let jbase = j * a.cols in
-      let acc = ref 0.0 in
-      for k = 0 to a.cols - 1 do
-        acc := !acc +. (a.data.(ibase + k) *. a.data.(jbase + k))
-      done;
-      c.data.((i * a.rows) + j) <- !acc;
-      c.data.((j * a.rows) + i) <- !acc
+  let kk = a.cols in
+  let ad = a.data and cd = c.data in
+  (* row i owns both (i, j) and its mirror (j, i) for j >= i: bands never
+     write the same element. Triangular rows are uneven; the pool's
+     dynamic chunking balances them. *)
+  let band ilo ihi =
+    for i = ilo to ihi - 1 do
+      let ibase = i * kk in
+      for j = i to a.rows - 1 do
+        let jbase = j * kk in
+        let acc = ref 0.0 in
+        for k = 0 to kk - 1 do
+          acc := !acc +. (Array.unsafe_get ad (ibase + k) *. Array.unsafe_get ad (jbase + k))
+        done;
+        Array.unsafe_set cd ((i * a.rows) + j) !acc;
+        Array.unsafe_set cd ((j * a.rows) + i) !acc
+      done
     done
-  done;
+  in
+  Par.Pool.parallel_chunks ~grain:(row_grain (a.rows * kk)) 0 a.rows band;
   c
 
 let apply m x =

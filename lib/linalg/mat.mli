@@ -55,17 +55,50 @@ val sub : t -> t -> t
 
 val scale : float -> t -> t
 
+val sub_into : into:t -> t -> t -> unit
+(** [sub_into ~into a b] writes [a - b] into [into] without allocating.
+    [into] may alias [a] or [b]. *)
+
+val scale_into : into:t -> float -> t -> unit
+(** [scale_into ~into s m] writes [s * m] into [into]. [into] may alias
+    [m]. *)
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] performs [y <- y + alpha * x] in place. *)
+
+val sub_scaled : t -> float -> t -> t
+(** [sub_scaled a s b] is [a - s*b] in one pass, allocating only the
+    result (the fused form of [sub a (scale s b)], bit-identical to
+    it). *)
+
+val add_row_vec_into : t -> Vec.t -> unit
+(** [add_row_vec_into m v] adds [v] to every row of [m] in place. *)
+
+val sub_row_vec : t -> Vec.t -> t
+(** [sub_row_vec m v] subtracts [v] from every row (fresh matrix). *)
+
 val mul : t -> t -> t
-(** Matrix product; cache-friendly (ikj order). *)
+(** Matrix product; cache-blocked ikj order, row-band parallel on the
+    {!Par.Pool} when the flop count clears {!par_threshold_value}.
+    Bit-identical to the serial kernel at any pool size. *)
 
 val mul_nt : t -> t -> t
-(** [mul_nt a b] is [a * transpose b] without materializing the transpose. *)
+(** [mul_nt a b] is [a * transpose b] without materializing the
+    transpose. Register-tiled dot products, row-band parallel. *)
 
 val mul_tn : t -> t -> t
-(** [mul_tn a b] is [transpose a * b]. *)
+(** [mul_tn a b] is [transpose a * b]. Row-band parallel. *)
 
 val gram : t -> t
-(** [gram a] is [a * transpose a] (symmetric, computed in half the flops). *)
+(** [gram a] is [a * transpose a] (symmetric, computed in half the flops,
+    row-band parallel). *)
+
+val set_par_threshold : int -> unit
+(** Flop count below which the dense products stay serial (default
+    200_000). Lowering it forces the parallel path on small matrices —
+    useful for tests; the answers are bit-identical either way. *)
+
+val par_threshold_value : unit -> int
 
 val apply : t -> Vec.t -> Vec.t
 (** Matrix-vector product. *)

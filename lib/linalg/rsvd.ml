@@ -52,7 +52,10 @@ let factor ?(oversample = 8) ?(power_iters = 2) ~rank ~seed a =
     !acc /. sqrt 2.0
   in
   let omega = Mat.init n sketch_cols (fun _ _ -> gaussian ()) in
-  (* range finder with power iterations: Y = (A A^T)^q A Omega *)
+  (* range finder with power iterations: Y = (A A^T)^q A Omega. The
+     sketch applications (Mat.mul / Mat.mul_tn) run row-band parallel on
+     the domain pool; the sketch itself is drawn serially so the
+     factorization is reproducible at any pool size. *)
   let y = ref (Mat.mul a omega) in
   for _ = 1 to power_iters do
     let q = orthonormalize !y in

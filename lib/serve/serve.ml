@@ -105,6 +105,9 @@ let handle_stats t =
       ("requests", Wire.Int c.requests);
       ("dies_predicted", Wire.Int c.predicted);
       ("errors", Wire.Int c.errors);
+      (* pool size behind the batched matrix applies (PATHSEL_DOMAINS /
+         --domains); the served bits are identical at any value *)
+      ("domains", Wire.Int (Par.Pool.size ()));
       ("uptime_s", Wire.Float (Unix.gettimeofday () -. t.started));
       ("latency_ms", latency_stats t);
       ( "artifact",

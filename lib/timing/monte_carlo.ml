@@ -15,9 +15,11 @@ let num_samples t = fst (Linalg.Mat.dims t.x)
 
 let x_mat t = t.x
 
+(* the product is fresh, so the mean shift lands in place: no per-element
+   closure, no second allocation *)
 let add_mu d mu =
-  let n, k = Linalg.Mat.dims d in
-  Linalg.Mat.init n k (fun i j -> Linalg.Mat.get d i j +. mu.(j))
+  Linalg.Mat.add_row_vec_into d mu;
+  d
 
 let path_delays t =
   match t.d_paths with
@@ -44,16 +46,24 @@ let circuit_yield dm ~t_cons ~rng ~samples =
   let n_gates = Circuit.Netlist.num_gates nl in
   let num_inputs = Circuit.Netlist.num_inputs nl in
   let levels = model.Variation.levels in
-  let pass = ref 0 in
-  let arrival = Array.make (num_inputs + n_gates) 0.0 in
-  for _ = 1 to samples do
-    (* draw region variables for both parameters and all levels *)
+  let gates = Circuit.Netlist.gates nl in
+  let outputs = Circuit.Netlist.outputs nl in
+  (* Randomness is drawn sample-by-sample from the single [rng] stream —
+     the exact sequence the serial loop consumed — and only the per-sample
+     longest-path sweeps run on the domain pool. Execution order therefore
+     never touches the draw order: the yield is bit-identical at any
+     PATHSEL_DOMAINS, including the historical serial result. Draws are
+     buffered one block at a time to bound memory on big netlists. *)
+  let draw_one () =
     let region_draw =
       Array.init 2 (fun _ ->
           Array.init levels (fun level ->
               Rng.gaussian_vector rng (Variation.regions_at_level level)))
     in
     let rand_draw = Rng.gaussian_vector rng n_gates in
+    (region_draw, rand_draw)
+  in
+  let sweep (region_draw, rand_draw) arrival =
     Array.fill arrival 0 (num_inputs + n_gates) 0.0;
     Array.iter
       (fun (g : Circuit.Netlist.gate) ->
@@ -70,12 +80,29 @@ let circuit_yield dm ~t_cons ~rng ~samples =
           Array.fold_left (fun acc code -> Float.max acc arrival.(code)) 0.0 g.fanin
         in
         arrival.(num_inputs + g.id) <- amax +. !d)
-      (Circuit.Netlist.gates nl);
+      gates;
     let dmax =
       Array.fold_left
         (fun acc o -> Float.max acc arrival.(Circuit.Netlist.encode_signal nl o))
-        0.0 (Circuit.Netlist.outputs nl)
+        0.0 outputs
     in
-    if dmax <= t_cons then incr pass
+    dmax <= t_cons
+  in
+  let block = min samples 64 in
+  let passed = Array.make block false in
+  let pass = ref 0 in
+  let remaining = ref samples in
+  while !remaining > 0 do
+    let b = min block !remaining in
+    let draws = Array.init b (fun _ -> draw_one ()) in
+    Par.Pool.parallel_chunks ~grain:2 0 b (fun lo hi ->
+        let arrival = Array.make (num_inputs + n_gates) 0.0 in
+        for s = lo to hi - 1 do
+          passed.(s) <- sweep draws.(s) arrival
+        done);
+    for s = 0 to b - 1 do
+      if passed.(s) then incr pass
+    done;
+    remaining := !remaining - b
   done;
   float_of_int !pass /. float_of_int samples

@@ -28,4 +28,8 @@ val circuit_yield :
 (** Full-circuit timing yield estimate: per sample, draw every model
     variable (all gates, all regions), run a longest-path sweep, and
     count dies meeting [t_cons]. Independent of any extracted path
-    pool. *)
+    pool.
+
+    The per-sample sweeps run on the {!Par.Pool} domain pool;
+    randomness is still consumed from [rng] in strict sample order, so
+    the estimate is bit-identical at every pool size. *)
