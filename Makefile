@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke bench bench-e14 bench-e15 doc clean
+.PHONY: all build test smoke perf-smoke lint tsan-smoke bench bench-e14 bench-e15 doc clean
 
 all: build
 
@@ -12,8 +12,27 @@ test:
 
 # Fast CI gate: the robustness-layer test suites plus one faulted
 # end-to-end selection on the committed demo circuit (see ./dune).
+# Includes @lint via tools/lint's smoke alias.
 smoke:
 	dune build @smoke
+
+# Project static analysis: tools/lint/pathsel-lint over lib/, bin/ and
+# bench/. Non-zero exit on any unsuppressed error-severity diagnostic.
+# Also attached to `dune runtest`, so tier-1 enforces it.
+lint:
+	dune build @lint
+
+# Run the parallel test suite under ThreadSanitizer where the
+# toolchain supports it (OCaml >= 5.2 configured with --enable-tsan);
+# elsewhere this is a documented no-op so CI recipes stay portable.
+tsan-smoke:
+	@if ocamlopt -config 2>/dev/null | grep -q '^tsan:.*true'; then \
+	  echo "tsan-smoke: running parallel suites under ThreadSanitizer"; \
+	  PATHSEL_CHECKS=1 dune exec --profile tsan test/test_main.exe -- test par; \
+	else \
+	  echo "tsan-smoke: this OCaml toolchain was built without ThreadSanitizer"; \
+	  echo "            support (needs >= 5.2 with --enable-tsan); skipping."; \
+	fi
 
 bench:
 	dune exec bench/main.exe

@@ -45,6 +45,23 @@ let set_domains = function
       Core.Errors.raise_error (Core.Errors.Invalid_input "--domains must be >= 1")
     else Par.Pool.set_size d
 
+let checks_arg =
+  Arg.(value & flag
+       & info [ "checks" ]
+           ~doc:"Enable runtime contract checking (equivalent to \
+                 $(b,PATHSEL_CHECKS=1)): the numeric core re-asserts every \
+                 dimension contract and fails fast on kernels that introduce \
+                 NaNs from finite inputs.")
+
+(* one shared term so every subcommand gets --domains and --checks; the
+   settings apply as a side effect of argument evaluation *)
+let runtime_arg =
+  let apply domains checks =
+    set_domains domains;
+    if checks then Checks.set_enabled true
+  in
+  Term.(const apply $ domains_arg $ checks_arg)
+
 let eps_arg default =
   Arg.(value & opt float default
        & info [ "eps" ] ~docv:"EPS" ~doc:"Worst-case error tolerance (fraction).")
@@ -187,10 +204,9 @@ let select_cmd =
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Exact selection (r = rank A).")
   in
-  let run domains circuit scale seed levels random_boost tscale max_paths eps exact
+  let run () circuit scale seed levels random_boost tscale max_paths eps exact
       liberty report lenient faults =
    handle @@ fun () ->
-    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
@@ -275,17 +291,16 @@ let select_cmd =
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Representative path selection (Algorithm 1).")
-    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ runtime_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
           $ liberty_arg $ report_arg $ lenient_arg $ faults_arg)
 
 (* ---------------- hybrid ---------------- *)
 
 let hybrid_cmd =
-  let run domains circuit scale seed levels random_boost tscale max_paths eps
+  let run () circuit scale seed levels random_boost tscale max_paths eps
       liberty report lenient =
    handle @@ fun () ->
-    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
@@ -314,7 +329,7 @@ let hybrid_cmd =
   in
   Cmd.v
     (Cmd.info "hybrid" ~doc:"Hybrid path/segment selection (Algorithm 3).")
-    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ runtime_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.08
           $ liberty_arg $ report_arg $ lenient_arg)
 
@@ -324,10 +339,9 @@ let spectrum_cmd =
   let count =
     Arg.(value & opt int 30 & info [ "count" ] ~doc:"Singular values to print.")
   in
-  let run domains circuit scale seed levels random_boost tscale max_paths count
+  let run () circuit scale seed levels random_boost tscale max_paths count
       lenient =
    handle @@ fun () ->
-    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty:None ()
@@ -342,7 +356,7 @@ let spectrum_cmd =
   in
   Cmd.v
     (Cmd.info "spectrum" ~doc:"Normalized singular values of A (Figure 2 data).")
-    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ runtime_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ count $ lenient_arg)
 
 (* ---------------- sdf ---------------- *)
@@ -373,10 +387,9 @@ let diagnose_cmd =
   let top =
     Arg.(value & opt int 8 & info [ "top" ] ~doc:"Attributions to print.")
   in
-  let run domains circuit scale seed levels random_boost tscale max_paths die_seed
+  let run () circuit scale seed levels random_boost tscale max_paths die_seed
       top =
    handle @@ fun () ->
-    set_domains domains;
     let setup =
       prepare ~circuit ~scale ~seed ~levels ~random_boost ~tscale ~max_paths
         ~liberty:None ()
@@ -409,7 +422,7 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Fabricate one Monte-Carlo die, measure the representative paths, and \
              attribute its process deviations (post-silicon diagnosis).")
-    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ runtime_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ die_seed $ top)
 
 (* ---------------- prediction service: save / inspect / serve / client ------ *)
@@ -443,10 +456,9 @@ let save_cmd =
     Arg.(value & opt string "selection.psa"
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Artifact output path.")
   in
-  let run domains circuit scale seed levels random_boost tscale max_paths eps exact
+  let run () circuit scale seed levels random_boost tscale max_paths eps exact
       liberty lenient output =
    handle @@ fun () ->
-    set_domains domains;
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
@@ -485,7 +497,7 @@ let save_cmd =
     (Cmd.info "save"
        ~doc:"Run the selection pipeline once and persist everything die-time \
              prediction needs as a versioned, checksummed artifact.")
-    Term.(const run $ domains_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
+    Term.(const run $ runtime_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
           $ liberty_arg $ lenient_arg $ output)
 
@@ -513,9 +525,8 @@ let serve_cmd =
              ~doc:"Fork the server, ping it over the socket, shut it down, and exit; \
                    a CI-able one-shot liveness probe.")
   in
-  let run domains path socket port max_batch self_check =
+  let run () path socket port max_batch self_check =
    handle @@ fun () ->
-    set_domains domains;
     let artifact =
       match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
     in
@@ -524,6 +535,8 @@ let serve_cmd =
       match Unix.fork () with
       | 0 ->
         (* child: serve until the parent's shutdown request *)
+        (* lint: allow no-catchall — the child's only job is to turn any
+           server failure into a nonzero exit the parent can observe *)
         (try
            Serve.run ~install_signals:false ~max_batch artifact addr;
            Stdlib.exit 0
@@ -556,7 +569,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve batched die-delay predictions from a saved artifact over a \
              Unix-domain or TCP socket (newline-delimited JSON).")
-    Term.(const run $ domains_arg $ artifact_pos $ socket_arg $ port_arg $ max_batch
+    Term.(const run $ runtime_arg $ artifact_pos $ socket_arg $ port_arg $ max_batch
           $ self_check)
 
 let client_cmd =
@@ -672,8 +685,8 @@ let profile_arg =
 
 let experiment_cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun domains p -> set_domains domains; f p)
-          $ domains_arg $ profile_arg)
+    Term.(const (fun () p -> f p)
+          $ runtime_arg $ profile_arg)
 
 let table1_cmd =
   experiment_cmd "table1" "Regenerate the paper's Table 1." (fun p ->

@@ -364,7 +364,8 @@ module Library = struct
     { cell_name; area; input_caps = List.rev !input_caps; timings = List.rev !timings }
 
   let of_group g =
-    if g.gname <> "library" then failwith "Liberty.Library.of_group: not a library";
+    if g.gname <> "library" then
+      raise (Parse_error (0, "Liberty.Library.of_group: not a library"));
     let lib_name =
       match g.args with
       | [ Word w ] | [ Quoted w ] -> w

@@ -89,7 +89,7 @@ let build ~name ~num_inputs ~gates ~outputs =
     gate_fanouts = Array.map List.rev gate_fanouts;
   }
 
-let name t = t.name
+let name (t : t) = t.name
 
 let num_inputs t = t.num_inputs
 
@@ -130,6 +130,6 @@ let depth t =
     t.gates;
   Array.fold_left max 0 d
 
-let stats t =
+let stats (t : t) =
   Printf.sprintf "%s: %d PIs, %d gates, %d POs, depth %d" t.name t.num_inputs
     (num_gates t) (Array.length t.outputs) (depth t)

@@ -56,7 +56,7 @@ let apply nl placements =
   List.iter
     (fun (name, pos) ->
       if not (Array.exists (fun (g : Netlist.gate) -> g.name = name) (Netlist.gates nl))
-      then failwith (Printf.sprintf "Placement_io.apply: unknown gate %s" name);
+      then invalid_arg (Printf.sprintf "Placement_io.apply: unknown gate %s" name);
       Hashtbl.replace tbl name pos)
     placements;
   let gates =

@@ -28,7 +28,7 @@ let project_l1_ball v r =
 
 let prox_linf v tau =
   if tau < 0.0 then invalid_arg "Prox.prox_linf: negative tau";
-  if tau = 0.0 then Array.copy v
+  if Float.equal tau 0.0 then Array.copy v
   else begin
     let scaled = Array.map (fun x -> x /. tau) v in
     let proj = project_l1_ball scaled 1.0 in

@@ -10,7 +10,7 @@ let of_singular_values ~eta s =
   if eta <= 0.0 || eta >= 1.0 then invalid_arg "Effective_rank: eta outside (0,1)";
   check_spectrum s;
   let e = Array.fold_left ( +. ) 0.0 s in
-  if e = 0.0 then 0
+  if Float.equal e 0.0 then 0
   else begin
     let target = (1.0 -. eta) *. e in
     let rec go k acc =
@@ -27,7 +27,7 @@ let of_mat ~eta a = of_singular_values ~eta (Linalg.Svd.factor a).Linalg.Svd.s
 
 let normalized_spectrum s =
   let e = Array.fold_left ( +. ) 0.0 s in
-  if e = 0.0 then Array.map (fun _ -> 0.0) s else Array.map (fun v -> v /. e) s
+  if Float.equal e 0.0 then Array.map (fun _ -> 0.0) s else Array.map (fun v -> v /. e) s
 
 let energy_profile s =
   let e = Array.fold_left ( +. ) 0.0 s in
@@ -36,6 +36,6 @@ let energy_profile s =
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
     acc := !acc +. s.(i);
-    out.(i) <- (if e = 0.0 then 0.0 else !acc /. e)
+    out.(i) <- (if Float.equal e 0.0 then 0.0 else !acc /. e)
   done;
   out

@@ -42,7 +42,8 @@ let exit_code = function
   | Io _ -> 66
   | Numerical _ -> 70
 
-let of_exn ~file = function
+let of_exn ~file (exn : exn) =
+  match exn with
   | Error e -> Some e
   | Circuit.Bench_io.Parse_error (l, msg)
   | Circuit.Verilog_io.Parse_error (l, msg)
@@ -50,6 +51,10 @@ let of_exn ~file = function
   | Circuit.Liberty.Parse_error (l, msg)
   | Timing.Sdf.Parse_error (l, msg) ->
     Some (Parse { file; line = (if l > 0 then Some l else None); msg })
+  | Timing.Sdf.Annotate_error msg | Timing.Delay_calc.Missing_cell msg ->
+    Some (Bad_data msg)
+  | Linalg.Qr.Rank_deficient msg ->
+    Some (Numerical { op = "Qr.solve_lstsq"; msg })
   | Sys_error msg -> Some (Io { file; msg })
   | Linalg.Svd.No_convergence ->
     Some (Numerical { op = "Svd.factor"; msg = "implicit-shift QR did not converge" })

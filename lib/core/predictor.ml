@@ -40,6 +40,12 @@ let build ~a ~mu ~rep =
   let w = Linalg.Mat.transpose wt in
   let omega = Linalg.Mat.sub (Linalg.Mat.mul w a_r) a_m in
   let sigmas = Linalg.Mat.row_norms2 omega in
+  if Checks.on () then begin
+    Checks.nan_introduced ~what:"Predictor.build (weights)"
+      ~inputs:[ a.Linalg.Mat.data ] w.Linalg.Mat.data;
+    Checks.nan_introduced ~what:"Predictor.build (error sigmas)"
+      ~inputs:[ a.Linalg.Mat.data ] sigmas
+  end;
   {
     rep = Array.copy rep;
     rem;
@@ -60,7 +66,16 @@ let predict t ~measured =
   if Array.length measured <> Array.length t.rep then
     invalid_arg "Predictor.predict: measurement length mismatch";
   let centered = Linalg.Vec.sub measured t.mu_rep in
-  Linalg.Vec.add t.mu_rem (Linalg.Mat.apply t.w centered)
+  let out = Linalg.Vec.add t.mu_rem (Linalg.Mat.apply t.w centered) in
+  if Checks.on () then begin
+    Checks.require
+      (Array.length out = Array.length t.rem)
+      "Predictor.predict: output length <> number of remaining paths";
+    Checks.nan_introduced ~what:"Predictor.predict"
+      ~inputs:[ measured; t.w.Linalg.Mat.data; t.mu_rep; t.mu_rem ]
+      out
+  end;
+  out
 
 let predict_all t ~measured =
   let _, r = Linalg.Mat.dims measured in
@@ -69,6 +84,14 @@ let predict_all t ~measured =
   let centered = Linalg.Mat.sub_row_vec measured t.mu_rep in
   let pred = Linalg.Mat.mul_nt centered t.w in  (* n_samples x (n-r) *)
   Linalg.Mat.add_row_vec_into pred t.mu_rem;
+  if Checks.on () then begin
+    Checks.require
+      (snd (Linalg.Mat.dims pred) = Array.length t.rem)
+      "Predictor.predict_all: output width <> number of remaining paths";
+    Checks.nan_introduced ~what:"Predictor.predict_all"
+      ~inputs:[ measured.Linalg.Mat.data; t.w.Linalg.Mat.data; t.mu_rep; t.mu_rem ]
+      pred.Linalg.Mat.data
+  end;
   pred
 
 let error_operator t = t.omega

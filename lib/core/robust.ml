@@ -39,7 +39,7 @@ type blocks = {
 let export_blocks (t : t) =
   { gram = Linalg.Mat.copy t.gram; cross = Linalg.Mat.copy t.cross }
 
-let of_parts ~base { gram; cross } =
+let of_parts ~base ({ gram; cross } : blocks) =
   let raw = Predictor.export base in
   let r = Array.length raw.Predictor.raw_rep in
   let nrem = Array.length raw.Predictor.raw_rem in

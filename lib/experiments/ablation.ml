@@ -66,7 +66,7 @@ let run_eta ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s1423" with
     | Some p -> p
-    | None -> failwith "Ablation: s1423 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Ablation: s1423 preset missing")
   in
   let _, setup =
     Table1.setup_for profile preset ~t_cons_scale:1.0
@@ -102,7 +102,7 @@ let run_cluster ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s38417" with
     | Some p -> p
-    | None -> failwith "Ablation: s38417 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Ablation: s38417 preset missing")
   in
   let _, setup =
     Table1.setup_for profile preset ~t_cons_scale:1.0

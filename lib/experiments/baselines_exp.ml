@@ -66,7 +66,7 @@ let run ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s1238" with
     | Some p -> p
-    | None -> failwith "Baselines_exp: s1238 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Baselines_exp: s1238 preset missing")
   in
   let rows = run_bench profile preset in
   Printf.fprintf oc "%-24s %4s | %7s %7s\n" "method" "r" "e1%" "e2%";

@@ -54,7 +54,7 @@ let run ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s1423" with
     | Some p -> p
-    | None -> failwith "Faults_exp: s1423 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Faults_exp: s1423 preset missing")
   in
   let _, setup =
     Table1.setup_for profile preset ~t_cons_scale:1.0

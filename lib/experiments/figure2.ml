@@ -27,7 +27,7 @@ let compute ?(k = 30) profile =
   let preset =
     match Circuit.Benchmarks.find "s1423" with
     | Some p -> p
-    | None -> failwith "Figure2: s1423 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Figure2: s1423 preset missing")
   in
   List.map
     (fun (random_boost, label) ->

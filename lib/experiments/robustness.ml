@@ -23,7 +23,7 @@ let run_rsvd ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s38417" with
     | Some p -> p
-    | None -> failwith "Robustness: s38417 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Robustness: s38417 preset missing")
   in
   let _, setup =
     Table1.setup_for profile preset ~t_cons_scale:1.0
@@ -75,7 +75,7 @@ let run_noise ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s1423" with
     | Some p -> p
-    | None -> failwith "Robustness: s1423 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Robustness: s1423 preset missing")
   in
   let _, setup =
     Table1.setup_for profile preset ~t_cons_scale:1.0
@@ -160,7 +160,7 @@ let run_ssta ?(oc = stdout) profile =
   let preset =
     match Circuit.Benchmarks.find "s1238" with
     | Some p -> p
-    | None -> failwith "Robustness: s1238 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Robustness: s1238 preset missing")
   in
   let scale = profile.Profile.scale_of preset in
   let netlist = Circuit.Benchmarks.netlist ~scale preset in

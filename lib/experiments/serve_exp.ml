@@ -86,7 +86,7 @@ let run ?(oc = stdout) ?out profile =
   let preset =
     match Circuit.Benchmarks.find bench_name with
     | Some p -> p
-    | None -> failwith "Serve_exp: s1423 preset missing"
+    | None -> Core.Errors.raise_error (Core.Errors.Invalid_input "Serve_exp: s1423 preset missing")
   in
   let build () =
     let _, setup =
@@ -161,7 +161,9 @@ let run ?(oc = stdout) ?out profile =
   let addr = Serve.Unix_sock sock in
   let pid = Unix.fork () in
   if pid = 0 then begin
-    (try Serve.run ~install_signals:false artifact addr with _ -> ());
+    (match Serve.run ~install_signals:false artifact addr with
+     | () -> ()
+     | exception (Core.Errors.Error _ | Unix.Unix_error _ | Sys_error _) -> ());
     Unix._exit 0
   end;
   let finish =
@@ -180,7 +182,9 @@ let run ?(oc = stdout) ?out profile =
                 for _ = 1 to reps do
                   match Serve.Client.predict conn sub with
                   | Ok _ -> ()
-                  | Error msg -> failwith ("Serve_exp: server error: " ^ msg)
+                  | Error msg ->
+                    Core.Errors.raise_error
+                      (Core.Errors.Bad_data ("Serve_exp: server error: " ^ msg))
                 done)
           in
           ( float_of_int (b * reps) /. dt,
@@ -192,7 +196,9 @@ let run ?(oc = stdout) ?out profile =
           time (fun () ->
               match Serve.Client.predict conn clean with
               | Ok (m, _) -> m
-              | Error msg -> failwith ("Serve_exp: server error: " ^ msg))
+              | Error msg ->
+                Core.Errors.raise_error
+                  (Core.Errors.Bad_data ("Serve_exp: server error: " ^ msg)))
         in
         let expected = Core.Predictor.predict_all p ~measured:clean in
         let bit_identical = bits_equal served expected in

@@ -9,7 +9,7 @@ let solve a b =
     let f = Qr.factor a in
     match Qr.solve_lstsq f b with
     | x -> x
-    | exception Failure _ -> solve_min_norm a b
+    | exception Qr.Rank_deficient _ -> solve_min_norm a b
   end
 
 let solve_mat a b =
@@ -22,7 +22,7 @@ let solve_mat a b =
     let solve_col j =
       match Qr.solve_lstsq f (Mat.col b j) with
       | x -> x
-      | exception Failure _ -> solve_min_norm a (Mat.col b j)
+      | exception Qr.Rank_deficient _ -> solve_min_norm a (Mat.col b j)
     in
     for j = 0 to cols - 1 do
       let x = solve_col j in

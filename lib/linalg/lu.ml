@@ -22,11 +22,11 @@ let factor a =
       sign := - !sign
     end;
     let pivot = Mat.get lu k k in
-    if pivot <> 0.0 then
+    if not (Float.equal pivot 0.0) then
       for i = k + 1 to n - 1 do
         let factor = Mat.get lu i k /. pivot in
         Mat.set lu i k factor;
-        if factor <> 0.0 then
+        if not (Float.equal factor 0.0) then
           for j = k + 1 to n - 1 do
             Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
           done
@@ -53,7 +53,7 @@ let solve f b =
       acc := !acc -. (Mat.get f.lu i j *. x.(j))
     done;
     let d = Mat.get f.lu i i in
-    if d = 0.0 then raise Singular;
+    if Float.equal d 0.0 then raise Singular;
     x.(i) <- !acc /. d
   done;
   x

@@ -1,5 +1,21 @@
 type t = { rows : int; cols : int; data : float array }
 
+(* PATHSEL_CHECKS contract layer: every dense product re-validates the
+   flat-storage invariant and scans its output for NaNs that the inputs
+   did not contain (0*inf, inf-inf, uninitialised reads). Off by
+   default; one bool read per call when disabled. *)
+let check_rep what m =
+  Checks.require
+    (Array.length m.data = m.rows * m.cols)
+    (what ^ ": corrupt matrix (data length <> rows * cols)")
+
+let check_product what a b c =
+  if Checks.on () then begin
+    check_rep what a;
+    check_rep what b;
+    Checks.nan_introduced ~what ~inputs:[ a.data; b.data ] c.data
+  end
+
 let create rows cols =
   if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
   { rows; cols; data = Array.make (rows * cols) 0.0 }
@@ -204,7 +220,7 @@ let mul a b =
         let jhi = min n (!jb + j_block) in
         for k = 0 to kk - 1 do
           let aik = Array.unsafe_get ad (abase + k) in
-          if aik <> 0.0 then begin
+          if not (Float.equal aik 0.0) then begin
             let bbase = k * n in
             for j = !jb to jhi - 1 do
               Array.unsafe_set cd (cbase + j)
@@ -218,6 +234,7 @@ let mul a b =
     done
   in
   Par.Pool.parallel_chunks ~grain:(row_grain (2 * kk * n)) 0 a.rows band;
+  check_product "Mat.mul" a b c;
   c
 
 let mul_nt a b =
@@ -263,6 +280,7 @@ let mul_nt a b =
     done
   in
   Par.Pool.parallel_chunks ~grain:(row_grain (2 * kk * nr)) 0 a.rows band;
+  check_product "Mat.mul_nt" a b c;
   c
 
 let mul_tn a b =
@@ -281,7 +299,7 @@ let mul_tn a b =
       let bbase = k * nc in
       for i = ilo to ihi - 1 do
         let aki = Array.unsafe_get ad (abase + i) in
-        if aki <> 0.0 then begin
+        if not (Float.equal aki 0.0) then begin
           let cbase = i * nc in
           for j = 0 to nc - 1 do
             Array.unsafe_set cd (cbase + j)
@@ -293,6 +311,7 @@ let mul_tn a b =
     done
   in
   Par.Pool.parallel_chunks ~grain:(row_grain (2 * nr * nc)) 0 a.cols band;
+  check_product "Mat.mul_tn" a b c;
   c
 
 let gram a =
@@ -317,19 +336,27 @@ let gram a =
     done
   in
   Par.Pool.parallel_chunks ~grain:(row_grain (a.rows * kk)) 0 a.rows band;
+  check_product "Mat.gram" a a c;
   c
 
 let apply m x =
   if Array.length x <> m.cols then
     invalid_arg (Printf.sprintf "Mat.apply: %dx%d times vector of dim %d"
                    m.rows m.cols (Array.length x));
-  Array.init m.rows (fun i ->
-      let base = i * m.cols in
-      let acc = ref 0.0 in
-      for j = 0 to m.cols - 1 do
-        acc := !acc +. (m.data.(base + j) *. x.(j))
-      done;
-      !acc)
+  let y =
+    Array.init m.rows (fun i ->
+        let base = i * m.cols in
+        let acc = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          acc := !acc +. (m.data.(base + j) *. x.(j))
+        done;
+        !acc)
+  in
+  if Checks.on () then begin
+    check_rep "Mat.apply" m;
+    Checks.nan_introduced ~what:"Mat.apply" ~inputs:[ m.data; x ] y
+  end;
+  y
 
 let apply_t m x =
   if Array.length x <> m.rows then
@@ -339,11 +366,15 @@ let apply_t m x =
   for i = 0 to m.rows - 1 do
     let base = i * m.cols in
     let xi = x.(i) in
-    if xi <> 0.0 then
+    if not (Float.equal xi 0.0) then
       for j = 0 to m.cols - 1 do
         y.(j) <- y.(j) +. (xi *. m.data.(base + j))
       done
   done;
+  if Checks.on () then begin
+    check_rep "Mat.apply_t" m;
+    Checks.nan_introduced ~what:"Mat.apply_t" ~inputs:[ m.data; x ] y
+  end;
   y
 
 let select_rows m idx =

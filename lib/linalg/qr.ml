@@ -1,3 +1,5 @@
+exception Rank_deficient of string
+
 (* Householder QR with the reflectors stored below the diagonal of [qr]
    (the leading 1 of each reflector is implicit) and the scalar factors
    in [tau]: H_k = I - tau_k v_k v_k^T. *)
@@ -19,7 +21,7 @@ let house_column a m k col =
     let v = Mat.get a i col in
     xnorm2 := !xnorm2 +. (v *. v)
   done;
-  if !xnorm2 = 0.0 then 0.0
+  if Float.equal !xnorm2 0.0 then 0.0
   else begin
     let norm = sqrt ((alpha *. alpha) +. !xnorm2) in
     let beta = if alpha >= 0.0 then -.norm else norm in
@@ -35,7 +37,7 @@ let house_column a m k col =
 let apply_reflector a m n k tau jstart =
   (* Apply H_k = I - tau v v^T (v stored in column k below the diagonal)
      to columns [jstart..n-1] of [a]. *)
-  if tau <> 0.0 then
+  if not (Float.equal tau 0.0) then
     for j = jstart to n - 1 do
       let s = ref (Mat.get a k j) in
       for i = k + 1 to m - 1 do
@@ -133,7 +135,7 @@ let q f =
   done;
   for kk = k - 1 downto 0 do
     let tau = f.tau.(kk) in
-    if tau <> 0.0 then
+    if not (Float.equal tau 0.0) then
       for j = 0 to k - 1 do
         let s = ref (Mat.get qm kk j) in
         for i = kk + 1 to f.m - 1 do
@@ -172,7 +174,7 @@ let apply_qt f b =
   let k = min f.m f.n in
   for kk = 0 to k - 1 do
     let tau = f.tau.(kk) in
-    if tau <> 0.0 then begin
+    if not (Float.equal tau 0.0) then begin
       let s = ref y.(kk) in
       for i = kk + 1 to f.m - 1 do
         s := !s +. (Mat.get f.qr i kk *. y.(i))
@@ -196,7 +198,7 @@ let solve_lstsq f b =
       acc := !acc -. (Mat.get f.qr i j *. x.(j))
     done;
     let d = Mat.get f.qr i i in
-    if d = 0.0 then failwith "Qr.solve_lstsq: rank-deficient matrix";
+    if Float.equal d 0.0 then raise (Rank_deficient "Qr.solve_lstsq: rank-deficient matrix");
     x.(i) <- !acc /. d
   done;
   (* undo the column permutation *)

@@ -5,6 +5,11 @@
     upper triangular, and [p] a column permutation (the identity when
     factored without pivoting). *)
 
+exception Rank_deficient of string
+(** Raised by {!solve_lstsq} when a diagonal entry of [r] is exactly
+    zero. {!Lstsq} catches it and falls back to the SVD minimum-norm
+    solution. *)
+
 type t
 
 val factor : Mat.t -> t

@@ -100,7 +100,7 @@ let apply_t a x =
   let y = Array.make a.cols 0.0 in
   for i = 0 to a.rows - 1 do
     let xi = x.(i) in
-    if xi <> 0.0 then
+    if not (Float.equal xi 0.0) then
       for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
         y.(a.col_idx.(k)) <- y.(a.col_idx.(k)) +. (xi *. a.values.(k))
       done

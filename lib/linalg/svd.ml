@@ -26,7 +26,7 @@ let golub_reinsch a m n =
       for k = i to m - 1 do
         scale := !scale +. Float.abs a.(k).(i)
       done;
-      if !scale <> 0.0 then begin
+      if not (Float.equal !scale 0.0) then begin
         let s = ref 0.0 in
         for k = i to m - 1 do
           a.(k).(i) <- a.(k).(i) /. !scale;
@@ -58,7 +58,7 @@ let golub_reinsch a m n =
       for k = !l to n - 1 do
         scale := !scale +. Float.abs a.(i).(k)
       done;
-      if !scale <> 0.0 then begin
+      if not (Float.equal !scale 0.0) then begin
         let s = ref 0.0 in
         for k = !l to n - 1 do
           a.(i).(k) <- a.(i).(k) /. !scale;
@@ -90,7 +90,7 @@ let golub_reinsch a m n =
   (* Accumulation of right-hand transformations *)
   for i = n - 1 downto 0 do
     if i < n - 1 then begin
-      if !g <> 0.0 then begin
+      if not (Float.equal !g 0.0) then begin
         for j = !l to n - 1 do
           v.(j).(i) <- a.(i).(j) /. a.(i).(!l) /. !g
         done;
@@ -120,7 +120,7 @@ let golub_reinsch a m n =
     for j = l to n - 1 do
       a.(i).(j) <- 0.0
     done;
-    if g <> 0.0 then begin
+    if not (Float.equal g 0.0) then begin
       let ginv = 1.0 /. g in
       for j = l to n - 1 do
         let s = ref 0.0 in
@@ -156,11 +156,11 @@ let golub_reinsch a m n =
       (try
          while true do
            nm := !l - 1;
-           if Float.abs rv1.(!l) +. !anorm = !anorm then begin
+           if Float.equal (Float.abs rv1.(!l) +. !anorm) !anorm then begin
              flag := false;
              raise Exit
            end;
-           if Float.abs w.(!nm) +. !anorm = !anorm then raise Exit;
+           if Float.equal (Float.abs w.(!nm) +. !anorm) !anorm then raise Exit;
            decr l
          done
        with Exit -> ());
@@ -171,7 +171,7 @@ let golub_reinsch a m n =
            for i = !l to k do
              let f = !s *. rv1.(i) in
              rv1.(i) <- !c *. rv1.(i);
-             if Float.abs f +. !anorm = !anorm then raise Exit;
+             if Float.equal (Float.abs f +. !anorm) !anorm then raise Exit;
              let g = w.(i) in
              let h = hypot2 f g in
              w.(i) <- h;
@@ -235,7 +235,7 @@ let golub_reinsch a m n =
           done;
           let z = hypot2 fnew !h in
           w.(j) <- z;
-          if z <> 0.0 then begin
+          if not (Float.equal z 0.0) then begin
             let zinv = 1.0 /. z in
             c := fnew *. zinv;
             s := !h *. zinv

@@ -52,7 +52,7 @@ let norm2 x =
     let a = Float.abs x.(i) in
     if a > !scale_max then scale_max := a
   done;
-  if !scale_max = 0.0 then 0.0
+  if Float.equal !scale_max 0.0 then 0.0
   else begin
     let s = !scale_max in
     let acc = ref 0.0 in

@@ -1,3 +1,7 @@
+(* lint: allow no-catchall — worker lanes must stay alive whatever a
+   job raises; parallel_chunks captures the first exception in an
+   Atomic and re-raises it on the calling domain. *)
+
 (* One job slot per worker; a region hands every worker the same
    work-stealing closure and waits for all of them to drain it. *)
 type worker = {

@@ -65,7 +65,7 @@ let gaussian r =
       let u = uniform r (-1.0) 1.0 in
       let v = uniform r (-1.0) 1.0 in
       let s = (u *. u) +. (v *. v) in
-      if s >= 1.0 || s = 0.0 then draw ()
+      if s >= 1.0 || Float.equal s 0.0 then draw ()
       else begin
         let mul = sqrt (-2.0 *. log s /. s) in
         r.spare <- Some (v *. mul);

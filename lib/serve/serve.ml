@@ -211,12 +211,15 @@ let handle t line =
 (* ------------------------------------------------------------------ *)
 (* Socket plumbing *)
 
+(* a zero-byte write on a blocking socket: the peer is gone *)
+exception Short_write
+
 let write_all fd s =
   let len = String.length s in
   let off = ref 0 in
   while !off < len do
     let k = eintr (fun () -> Unix.write_substring fd s !off (len - !off)) in
-    if k = 0 then failwith "short write";
+    if k = 0 then raise Short_write;
     off := !off + k
   done
 
@@ -303,7 +306,7 @@ let run ?(install_signals = true) ?max_batch ?on_ready artifact addr =
           | cfd, _ ->
             (* one bad client never kills the accept loop *)
             (try serve_conn t cfd
-             with Unix.Unix_error _ | Failure _ | Sys_error _ ->
+             with Unix.Unix_error _ | Short_write | Sys_error _ ->
                t.counters.errors <- t.counters.errors + 1);
             (try Unix.close cfd with Unix.Unix_error _ -> ())
         end
@@ -375,7 +378,7 @@ module Client = struct
     | None -> Error "connection closed by server"
     | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "socket error: %s" (Unix.error_message e))
-    | exception Failure msg -> Error msg
+    | exception Short_write -> Error "short write: connection lost"
 
   let ping c =
     match request c (Wire.Obj [ ("op", Wire.String "ping") ]) with

@@ -114,7 +114,9 @@ let parse s =
            if !pos + 4 >= n then fail "truncated \\u escape";
            let hex = String.sub s (!pos + 1) 4 in
            let code =
-             try int_of_string ("0x" ^ hex) with _ -> fail "invalid \\u escape"
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some c -> c
+             | None -> fail "invalid \\u escape"
            in
            pos := !pos + 4;
            (* decode to UTF-8 *)

@@ -33,7 +33,8 @@ let covariance xs ys =
 
 let correlation xs ys =
   let sx = stddev xs and sy = stddev ys in
-  if sx = 0.0 || sy = 0.0 then 0.0 else covariance xs ys /. (sx *. sy)
+  if Float.equal sx 0.0 || Float.equal sy 0.0 then 0.0
+  else covariance xs ys /. (sx *. sy)
 
 let quantile xs p =
   let n = Array.length xs in
@@ -48,3 +49,9 @@ let quantile xs p =
   ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
 
 let max_abs xs = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs
+
+let approx_equal ?(rel = 1e-9) ?(abs = 1e-12) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if Float.equal a b then true (* covers equal infinities *)
+  else
+    Float.abs (a -. b) <= Float.max abs (rel *. Float.max (Float.abs a) (Float.abs b))

@@ -20,3 +20,11 @@ val quantile : float array -> float -> float
     outside [0, 1]. Does not modify [xs]. *)
 
 val max_abs : float array -> float
+
+val approx_equal : ?rel:float -> ?abs:float -> float -> float -> bool
+(** [approx_equal a b] is true when
+    [|a - b| <= max abs (rel * max |a| |b|)] — a combined
+    absolute/relative tolerance test (defaults [rel = 1e-9],
+    [abs = 1e-12]). False when either side is NaN; true for equal
+    infinities. This is the sanctioned replacement for [(=)] on floats
+    when exact equality ([Float.equal]) is not what you mean. *)

@@ -1,3 +1,5 @@
+exception Missing_cell of string
+
 type config = {
   input_slew : float;
   wire_cap_per_fanout : float;
@@ -22,9 +24,10 @@ let run ?(config = default_config) lib nl =
         match Circuit.Liberty.Library.find_cell lib (Circuit.Cell.name g.cell) with
         | Some c -> c
         | None ->
-          failwith
-            (Printf.sprintf "Delay_calc.run: cell %s missing from library %s"
-               (Circuit.Cell.name g.cell) lib.Circuit.Liberty.Library.lib_name))
+          raise
+            (Missing_cell
+               (Printf.sprintf "Delay_calc.run: cell %s missing from library %s"
+                  (Circuit.Cell.name g.cell) lib.Circuit.Liberty.Library.lib_name)))
       (Circuit.Netlist.gates nl)
   in
   (* load on each gate output: sink input caps + wire + PO loads *)

@@ -10,6 +10,10 @@
     the paper's flow. Delays are returned in picoseconds (Liberty
     tables are in ns). *)
 
+exception Missing_cell of string
+(** Raised by {!run} when a netlist cell has no entry in the Liberty
+    library. *)
+
 type config = {
   input_slew : float;       (** slew at primary inputs, ns; default 0.05 *)
   wire_cap_per_fanout : float;  (** pF added to the load per sink; default 0.002 *)

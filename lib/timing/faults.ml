@@ -20,8 +20,9 @@ let none =
   }
 
 let is_none s =
-  s.path_dropout = 0.0 && s.die_dropout = 0.0 && s.outlier_rate = 0.0
-  && s.stuck_rate = 0.0 && s.drift_sigma_ps = 0.0
+  Float.equal s.path_dropout 0.0 && Float.equal s.die_dropout 0.0
+  && Float.equal s.outlier_rate 0.0 && Float.equal s.stuck_rate 0.0
+  && Float.equal s.drift_sigma_ps 0.0
 
 let validate s =
   let rate name r =

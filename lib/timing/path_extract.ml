@@ -30,7 +30,7 @@ module Acc = struct
         let cur = Hashtbl.find t.coeffs k in
         let old = cur -. c in
         t.ss <- t.ss +. ((old *. old) -. (cur *. cur));
-        if old = 0.0 then Hashtbl.remove t.coeffs k else Hashtbl.replace t.coeffs k old)
+        if Float.equal old 0.0 then Hashtbl.remove t.coeffs k else Hashtbl.replace t.coeffs k old)
       sens
 
   let sigma t = sqrt (Float.max 0.0 t.ss)

@@ -1,4 +1,5 @@
 exception Parse_error of int * string
+exception Annotate_error of string
 
 let write nl ~delays =
   if Array.length delays <> Circuit.Netlist.num_gates nl then
@@ -171,19 +172,20 @@ let annotate nl pairs =
    | [] -> ()
    | names ->
      let shown = List.filteri (fun i _ -> i < 5) names in
-     failwith
-       (Printf.sprintf "Sdf.annotate: no delay for %d of %d instances (%s%s)"
+     raise
+       (Annotate_error
+          (Printf.sprintf "Sdf.annotate: no delay for %d of %d instances (%s%s)"
           (List.length names)
           (Circuit.Netlist.num_gates nl)
           (String.concat ", " shown)
-          (if List.length names > 5 then ", ..." else "")));
+          (if List.length names > 5 then ", ..." else ""))));
   delays
 
 let annotate_lenient nl pairs =
   let tbl = Hashtbl.create (List.length pairs) in
   List.iter (fun (inst, d) -> Hashtbl.replace tbl inst d) pairs;
   let present = List.map snd pairs |> List.filter Float.is_finite in
-  if present = [] then failwith "Sdf.annotate_lenient: no usable delays at all";
+  if present = [] then raise (Annotate_error "Sdf.annotate_lenient: no usable delays at all");
   let fallback =
     (* median of the annotated delays: a neutral stand-in for a gate
        the SDF forgot, keeping the netlist usable for path extraction *)

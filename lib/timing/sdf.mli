@@ -9,6 +9,10 @@
 
 exception Parse_error of int * string
 
+exception Annotate_error of string
+(** Raised by {!annotate}/{!annotate_lenient} when the delay list cannot
+    cover the netlist (missing instances, or no usable delays at all). *)
+
 val write : Circuit.Netlist.t -> delays:float array -> string
 (** [write nl ~delays] renders an SDF 3.0 document; [delays] is per
     gate id, in ps. Raises [Invalid_argument] on length mismatch. *)

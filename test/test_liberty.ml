@@ -52,7 +52,7 @@ let test_not_a_library () =
        Circuit.Liberty.Library.of_group (Circuit.Liberty.parse "cell (x) { }")
      with
      | (_ : Circuit.Liberty.Library.t) -> false
-     | exception Failure _ -> true)
+     | exception Circuit.Liberty.Parse_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Tables *)

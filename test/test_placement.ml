@@ -72,7 +72,7 @@ let test_apply_unknown_gate () =
   Alcotest.(check bool) "unknown gate" true
     (match Circuit.Placement_io.apply nl [ ("ghost", (0.5, 0.5)) ] with
      | (_ : Circuit.Netlist.t) -> false
-     | exception Failure _ -> true)
+     | exception Invalid_argument _ -> true)
 
 let unit_tests =
   [

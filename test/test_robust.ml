@@ -355,7 +355,7 @@ let test_sdf_lenient_annotate () =
   let partial = List.filteri (fun i _ -> i > 1) pairs in
   (match Timing.Sdf.annotate nl partial with
    | _ -> Alcotest.fail "annotate accepted missing instances"
-   | exception Failure msg ->
+   | exception Timing.Sdf.Annotate_error msg ->
      Alcotest.(check bool) "failure counts instances" true
        (String.length msg > 0));
   let filled, warnings = Timing.Sdf.annotate_lenient nl partial in

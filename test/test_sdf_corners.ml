@@ -64,7 +64,7 @@ let test_sdf_annotate_missing_gate () =
   Alcotest.(check bool) "missing instance" true
     (match Timing.Sdf.annotate nl [ ("nonexistent", 1.0) ] with
      | (_ : float array) -> false
-     | exception Failure _ -> true)
+     | exception Timing.Sdf.Annotate_error _ -> true)
 
 let test_sdf_of_nldm_sweep () =
   (* full loop: NLDM sweep -> SDF -> read back -> delay model *)

@@ -1,0 +1,464 @@
+(* pathsel-lint: project-specific static analysis over the untyped AST.
+
+   Parses every .ml source with the installed compiler's own parser
+   (compiler-libs) and walks the Parsetree enforcing the invariants the
+   parallel numeric core depends on. Rules are syntactic: no type
+   information is available, so e.g. [no-float-eq] recognises an operand
+   as a float when it is a float literal, an application of a float
+   operator/function, or carries a [: float] constraint. That catches
+   every violation this codebase has had in practice and keeps the pass
+   dependency-free and fast.
+
+   Suppression: a comment [(* lint: allow rule-a rule-b *)] anywhere in
+   a file silences those rules for that file. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type config = {
+  unsafe_allowlist : string list;
+      (* files where Array.unsafe_* / Bigarray unsafe access is allowed *)
+  raw_domain_dirs : string list;  (* dirs where Domain.spawn/join are allowed *)
+  catchall_allowlist : string list;  (* files where [try _ with _ ->] is allowed *)
+  rng_dirs : string list;  (* dirs allowed to touch Random/Rng internals *)
+}
+
+let default_config =
+  {
+    unsafe_allowlist = [ "lib/linalg/mat.ml"; "lib/linalg/vec.ml" ];
+    raw_domain_dirs = [ "lib/par/" ];
+    catchall_allowlist = [ "lib/core/errors.ml" ];
+    rng_dirs = [ "lib/rng/" ];
+  }
+
+let rules =
+  [
+    ( "no-raw-domain",
+      Error,
+      "Domain.spawn/Domain.join outside lib/par/ (use Par.Pool)" );
+    ( "no-self-init",
+      Error,
+      "Random.self_init anywhere; ambient Random.* in lib/ (thread Rng state)" );
+    ( "unsafe-array",
+      Error,
+      "Array.unsafe_*/Bigarray unsafe access outside the kernel allowlist" );
+    ( "no-float-eq",
+      Error,
+      "(=)/(<>) on float operands (use Float.equal or a tolerance helper)" );
+    ( "no-catchall",
+      Error,
+      "try ... with _ -> / with e -> ignore e (match specific exceptions)" );
+    ( "no-exit",
+      Error,
+      "exit/failwith in lib/ (raise typed exceptions or return Core.Errors)" );
+    ( "mutable-global-in-par",
+      Warning,
+      "top-level ref referenced inside a Pool.parallel_for/parallel_chunks body" );
+  ]
+
+let severity_of_rule r =
+  match List.find_opt (fun (n, _, _) -> n = r) rules with
+  | Some (_, s, _) -> s
+  | None -> Error
+
+(* ------------------------------------------------------------------ *)
+(* Path classification *)
+
+let normalize p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+(* [p] names file [f] (relative to some repo root): exact match or a
+   component-boundary suffix match, so "lib/linalg/mat.ml" matches both
+   "lib/linalg/mat.ml" and "/abs/prefix/lib/linalg/mat.ml". *)
+let path_is p f =
+  let p = normalize p in
+  p = f
+  ||
+  let lp = String.length p and lf = String.length f in
+  lp > lf
+  && String.sub p (lp - lf) lf = f
+  && p.[lp - lf - 1] = '/'
+
+let path_under p dir =
+  let p = normalize p in
+  let ld = String.length dir in
+  (String.length p >= ld && String.sub p 0 ld = dir)
+  ||
+  let needle = "/" ^ dir in
+  let ln = String.length needle in
+  let rec scan i =
+    if i + ln > String.length p then false
+    else if String.sub p i ln = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let in_any p dirs = List.exists (path_under p) dirs
+let is_any p files = List.exists (path_is p) files
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments: (* lint: allow rule-a rule-b *) *)
+
+let rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+let suppressed_rules src =
+  let out = ref [] in
+  let n = String.length src in
+  let key = "lint:" in
+  let rec find_key i =
+    if i + 5 > n then ()
+    else if String.sub src i 5 = key then after_key (i + 5)
+    else find_key (i + 1)
+  and after_key i =
+    let i = skip_ws i in
+    if i + 5 <= n && String.sub src i 5 = "allow" then collect (i + 5)
+    else find_key i
+  and skip_ws i = if i < n && (src.[i] = ' ' || src.[i] = '\t') then skip_ws (i + 1) else i
+  and collect i =
+    let i = skip_ws i in
+    if i >= n || not (rule_char src.[i]) then find_key i
+    else begin
+      let j = ref i in
+      while !j < n && rule_char src.[!j] do
+        incr j
+      done;
+      out := String.sub src i (!j - i) :: !out;
+      collect !j
+    end
+  in
+  find_key 0;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers *)
+
+open Parsetree
+
+let rec drop_stdlib = function "Stdlib" :: rest -> drop_stdlib rest | l -> l
+
+let ident_path (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (drop_stdlib (Longident.flatten txt))
+  | _ -> None
+
+let loc_of (l : Location.t) =
+  let p = l.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let float_fun_idents =
+  [ "sqrt"; "exp"; "log"; "log10"; "log1p"; "expm1"; "cos"; "sin"; "tan";
+    "acos"; "asin"; "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "ceil"; "floor";
+    "abs_float"; "mod_float"; "float_of_int"; "float_of_string"; "float";
+    "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+(* syntactic "this expression is a float": literal, float operator or
+   known float function application, Float.* access, or [: float]. *)
+let floaty (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ })
+    ->
+    true
+  | Pexp_ident { txt; _ } -> (
+    match drop_stdlib (Longident.flatten txt) with
+    | "Float" :: _ :: _ -> true
+    | [ x ] -> List.mem x [ "infinity"; "neg_infinity"; "nan"; "epsilon_float";
+                            "max_float"; "min_float" ]
+    | _ -> false)
+  | Pexp_apply (f, args) -> (
+    match ident_path f with
+    | Some [ op ] when List.mem op float_ops -> true
+    | Some [ fn ] when List.mem fn float_fun_idents -> true
+    | Some ("Float" :: rest)
+      when not (List.mem rest [ [ "equal" ]; [ "compare" ]; [ "is_nan" ];
+                                [ "is_finite" ]; [ "is_integer" ]; [ "sign_bit" ] ])
+      ->
+      true
+    | _ ->
+      ignore args;
+      (* partially-applied operator section: ((+.) a) b *)
+      (match f.pexp_desc with
+       | Pexp_apply (g, _) -> (
+         match ident_path g with
+         | Some [ op ] when List.mem op float_ops -> true
+         | _ -> false)
+       | _ -> false))
+  | _ -> false
+
+let is_fun (e : expression) =
+  match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The pass *)
+
+type ctx = {
+  path : string;
+  cfg : config;
+  mutable diags : diagnostic list;
+  mutable top_refs : (string * Location.t) list;
+}
+
+let emit ctx rule loc message =
+  let line, col = loc_of loc in
+  ctx.diags <-
+    { rule; severity = severity_of_rule rule; file = ctx.path; line; col; message }
+    :: ctx.diags
+
+let in_lib ctx = path_under ctx.path "lib/"
+
+(* collect [let name = ref ...] at the structure top level *)
+let collect_top_refs ctx (str : structure) =
+  List.iter
+    (fun (si : structure_item) ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+            | ( Ppat_var { txt = name; _ },
+                Pexp_apply (f, _) ) -> (
+              match ident_path f with
+              | Some [ "ref" ] -> ctx.top_refs <- (name, vb.pvb_loc) :: ctx.top_refs
+              | _ -> ())
+            | Ppat_constraint ({ ppat_desc = Ppat_var { txt = name; _ }; _ }, _), _
+              -> (
+              match vb.pvb_expr.pexp_desc with
+              | Pexp_apply (f, _) -> (
+                match ident_path f with
+                | Some [ "ref" ] ->
+                  ctx.top_refs <- (name, vb.pvb_loc) :: ctx.top_refs
+                | _ -> ())
+              | _ -> ())
+            | _ -> ())
+          vbs
+      | _ -> ())
+    str
+
+(* flag references to top-level refs inside a closure body *)
+let scan_par_body ctx (body : expression) =
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+           | Pexp_ident { txt = Lident name; loc } ->
+             if List.mem_assoc name ctx.top_refs then
+               emit ctx "mutable-global-in-par" loc
+                 (Printf.sprintf
+                    "top-level ref '%s' referenced inside a parallel region body; \
+                     shared mutable state under Pool.parallel_for is a data race \
+                     unless externally synchronised"
+                    name)
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter body
+
+let check_expr ctx (e : expression) =
+  (match e.pexp_desc with
+   | Pexp_ident _ -> (
+     match ident_path e with
+     | Some [ "Domain"; ("spawn" | "join") ]
+       when not (in_any ctx.path ctx.cfg.raw_domain_dirs) ->
+       emit ctx "no-raw-domain" e.pexp_loc
+         "raw Domain.spawn/join outside lib/par/; route parallelism through \
+          Par.Pool so domain count, nesting and fork safety stay centralised"
+     | Some ("Random" :: rest) ->
+       if rest = [ "self_init" ] then
+         emit ctx "no-self-init" e.pexp_loc
+           "Random.self_init breaks reproducibility; seed an explicit Rng state"
+       else if in_lib ctx && not (in_any ctx.path ctx.cfg.rng_dirs) then
+         emit ctx "no-self-init" e.pexp_loc
+           "ambient Random.* in library code; thread an explicit Rng state \
+            (strict-sample-order determinism depends on it)"
+     | Some [ "Array"; ("unsafe_get" | "unsafe_set") ]
+       when not (is_any ctx.path ctx.cfg.unsafe_allowlist) ->
+       emit ctx "unsafe-array" e.pexp_loc
+         "Array.unsafe_* outside the kernel allowlist; use checked access or \
+          move the kernel into an allowlisted file"
+     | Some p
+       when List.mem "Bigarray" p
+            && (match List.rev p with
+                | last :: _ ->
+                  String.length last > 7 && String.sub last 0 7 = "unsafe_"
+                | [] -> false)
+            && not (is_any ctx.path ctx.cfg.unsafe_allowlist) ->
+       emit ctx "unsafe-array" e.pexp_loc
+         "Bigarray unsafe access outside the kernel allowlist"
+     | Some [ ("exit" | "failwith") as fn ] when in_lib ctx ->
+       emit ctx "no-exit" e.pexp_loc
+         (Printf.sprintf
+            "%s in library code; raise a typed exception (mapped by \
+             Core.Errors.of_exn) or return a Core.Errors result"
+            fn)
+     | _ -> ())
+   | Pexp_apply (f, args) -> (
+     (match ident_path f with
+      | Some [ ("=" | "<>") as op ]
+        when List.exists (fun (_, a) -> floaty a) args ->
+        emit ctx "no-float-eq" e.pexp_loc
+          (Printf.sprintf
+             "(%s) on float operands; use Float.equal (exact, NaN-sound) or a \
+              tolerance helper (Stats.Descriptive.approx_equal)"
+             op)
+      | Some p -> (
+        match List.rev p with
+        | ("parallel_for" | "parallel_chunks") :: "Pool" :: _ ->
+          List.iter
+            (fun (_, a) -> if is_fun a then scan_par_body ctx a)
+            args
+        | _ -> ())
+      | None -> ()))
+   | Pexp_try (_, cases) ->
+     if not (is_any ctx.path ctx.cfg.catchall_allowlist) then
+       List.iter
+         (fun (c : case) ->
+           match (c.pc_lhs.ppat_desc, c.pc_guard) with
+           | Ppat_any, None ->
+             emit ctx "no-catchall" c.pc_lhs.ppat_loc
+               "catch-all 'with _ ->' swallows Out_of_memory, Stack_overflow \
+                and typed errors alike; match the exceptions you mean (or \
+                suppress with (* lint: allow no-catchall *) and a justification)"
+           | Ppat_var { txt = v; _ }, None -> (
+             match c.pc_rhs.pexp_desc with
+             | Pexp_apply (f, [ (_, arg) ]) -> (
+               match (ident_path f, arg.pexp_desc) with
+               | Some [ "ignore" ], Pexp_ident { txt = Lident v'; _ } when v = v'
+                 ->
+                 emit ctx "no-catchall" c.pc_lhs.ppat_loc
+                   "'with e -> ignore e' is a disguised catch-all; match the \
+                    exceptions you mean"
+               | _ -> ())
+             | _ -> ())
+           | _ -> ())
+         cases
+   | _ -> ())
+
+let lint_structure ctx (str : structure) =
+  collect_top_refs ctx str;
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check_expr ctx e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter str
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let lint_source ?(config = default_config) ~path src =
+  let ctx = { path = normalize path; cfg = config; diags = []; top_refs = [] } in
+  (try
+     let lexbuf = Lexing.from_string src in
+     Lexing.set_filename lexbuf path;
+     let str = Parse.implementation lexbuf in
+     lint_structure ctx str
+   with
+  | Syntaxerr.Error _ ->
+    ctx.diags <-
+      {
+        rule = "syntax";
+        severity = Error;
+        file = ctx.path;
+        line = 1;
+        col = 0;
+        message = "file does not parse; run the compiler for details";
+      }
+      :: ctx.diags
+  | Lexer.Error (_, loc) ->
+    let line, col = loc_of loc in
+    ctx.diags <-
+      {
+        rule = "syntax";
+        severity = Error;
+        file = ctx.path;
+        line;
+        col;
+        message = "lexer error";
+      }
+      :: ctx.diags);
+  let suppressed = suppressed_rules src in
+  let kept =
+    List.filter (fun d -> not (List.mem d.rule suppressed)) ctx.diags
+  in
+  List.sort
+    (fun a b ->
+      match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+    kept
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?config path = lint_source ?config ~path (read_file path)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else walk acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths ?config paths =
+  let files = List.sort compare (List.fold_left walk [] paths) in
+  List.concat_map (fun f -> lint_file ?config f) files
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let render_text d =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" d.file d.line d.col
+    (severity_string d.severity) d.rule d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json diags =
+  let item d =
+    Printf.sprintf
+      {|{"file":"%s","line":%d,"col":%d,"severity":"%s","rule":"%s","message":"%s"}|}
+      (json_escape d.file) d.line d.col
+      (severity_string d.severity)
+      (json_escape d.rule) (json_escape d.message)
+  in
+  "[" ^ String.concat "," (List.map item diags) ^ "]"
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags

@@ -1,0 +1,50 @@
+(** Project-specific static analysis over OCaml sources (untyped AST).
+
+    Seven rules guard the invariants the parallel numeric core depends
+    on; see {!rules} for the list and {!default_config} for the
+    allowlists. A comment [(* lint: allow rule-a rule-b *)] anywhere in
+    a file suppresses those rules for that file. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 0-based *)
+  message : string;
+}
+
+type config = {
+  unsafe_allowlist : string list;
+  raw_domain_dirs : string list;
+  catchall_allowlist : string list;
+  rng_dirs : string list;
+}
+
+val default_config : config
+
+val rules : (string * severity * string) list
+(** [(name, default severity, one-line description)] for every rule. *)
+
+val lint_source : ?config:config -> path:string -> string -> diagnostic list
+(** Lint source text as if it lived at [path] (the path drives the
+    directory-scoped rules). Unparseable input yields a single
+    ["syntax"] diagnostic rather than raising. *)
+
+val lint_file : ?config:config -> string -> diagnostic list
+
+val lint_paths : ?config:config -> string list -> diagnostic list
+(** Recursively lints every [.ml] under the given files/directories,
+    skipping [_build] and dot-directories. *)
+
+val severity_string : severity -> string
+
+val render_text : diagnostic -> string
+(** [file:line:col: severity [rule] message] *)
+
+val render_json : diagnostic list -> string
+(** JSON array of diagnostic objects, for machine consumption. *)
+
+val has_errors : diagnostic list -> bool

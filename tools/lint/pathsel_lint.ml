@@ -1,0 +1,67 @@
+(* CLI driver for the project linter. Exits 1 when any error-severity
+   diagnostic survives suppression, 0 otherwise (warnings don't fail
+   the build). *)
+
+let usage = "pathsel-lint [--format=text|json] [--root DIR] [path ...]"
+
+let () =
+  let json = ref false in
+  let root = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--format=json" :: rest ->
+      json := true;
+      parse rest
+    | "--format=text" :: rest ->
+      json := false;
+      parse rest
+    | "--format" :: fmt :: rest ->
+      (match fmt with
+       | "json" -> json := true
+       | "text" -> json := false
+       | _ ->
+         prerr_endline usage;
+         exit 64);
+      parse rest
+    | "--root" :: dir :: rest ->
+      root := Some dir;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      print_endline usage;
+      print_endline "rules:";
+      List.iter
+        (fun (name, sev, doc) ->
+          Printf.printf "  %-22s %-7s %s\n" name
+            (Lint.severity_string sev)
+            doc)
+        Lint.rules;
+      exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      prerr_endline ("pathsel-lint: unknown option " ^ arg);
+      prerr_endline usage;
+      exit 64
+    | p :: rest ->
+      paths := p :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !root with Some d -> Sys.chdir d | None -> ());
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  let diags = Lint.lint_paths paths in
+  if !json then print_endline (Lint.render_json diags)
+  else begin
+    List.iter (fun d -> print_endline (Lint.render_text d)) diags;
+    let errs =
+      List.length (List.filter (fun d -> d.Lint.severity = Lint.Error) diags)
+    in
+    let warns = List.length diags - errs in
+    if diags <> [] then
+      Printf.printf "%d error%s, %d warning%s\n" errs
+        (if errs = 1 then "" else "s")
+        warns
+        (if warns = 1 then "" else "s")
+  end;
+  exit (if Lint.has_errors diags then 1 else 0)
