@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke lint tsan-smoke bench bench-e14 bench-e15 doc clean
+.PHONY: all build test smoke perf-smoke chaos-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 doc clean
 
 all: build
 
@@ -45,12 +45,23 @@ bench-e14:
 bench-e15:
 	dune exec bench/main.exe -- e15
 
+# E16 chaos soak: a real server behind the fault-injecting proxy, with
+# SIGHUP hot reload mid-soak; emits BENCH_e16.json in the repo root.
+bench-e16:
+	dune exec bench/main.exe -- e16
+
 # Scaled-down E15 as a CI gate (< 30s): fails if any parallel kernel is
 # not bit-identical to serial, or (on hosts with >= 2 cores) if the
 # 4-domain matmul speedup falls below 2x. Single-core hosts check
 # equivalence only.
 perf-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Short-duration E16 as a CI gate: fails if any serving invariant
+# breaks under wire-level faults (wrong answer, server death, failed
+# hot reload, unbounded clean-lane latency).
+chaos-smoke:
+	dune exec bench/main.exe -- --chaos-smoke
 
 doc:
 	dune build @doc

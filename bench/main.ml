@@ -181,12 +181,15 @@ let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
     ( "e15",
       "E15 -- domain-pool scaling: kernels and end-to-end pipeline",
       fun p -> ignore (Experiments.Scaling.run ~out:"BENCH_e15.json" p) );
+    ( "e16",
+      "E16 -- chaos soak: serving invariants under wire-level faults",
+      fun p -> ignore (Experiments.Chaos_exp.run ~out:"BENCH_e16.json" p) );
     ("micro", "micro-benchmarks", fun _ -> run_micro ());
   ]
 
 let usage () =
   Printf.printf
-    "usage: main.exe [%s|all] [--full] [--smoke] [--domains N]\n"
+    "usage: main.exe [%s|all] [--full] [--smoke] [--chaos-smoke] [--domains N]\n"
     (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
   exit 1
 
@@ -194,7 +197,12 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in
-  let args = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
+  let chaos_smoke = List.mem "--chaos-smoke" args in
+  let args =
+    List.filter
+      (fun a -> a <> "--full" && a <> "--smoke" && a <> "--chaos-smoke")
+      args
+  in
   let args =
     let rec strip_domains = function
       | "--domains" :: n :: rest ->
@@ -214,6 +222,12 @@ let () =
   if smoke then begin
     let r = Experiments.Scaling.run ~smoke:true profile in
     exit (if r.Experiments.Scaling.ok then 0 else 1)
+  end;
+  (* [--chaos-smoke] is the CI gate for the serving invariants: a
+     short E16 soak, nonzero exit if any invariant breaks *)
+  if chaos_smoke then begin
+    let r = Experiments.Chaos_exp.run profile in
+    exit (if r.Experiments.Chaos_exp.ok then 0 else 1)
   end;
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;

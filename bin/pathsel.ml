@@ -516,8 +516,36 @@ let inspect_cmd =
 
 let serve_cmd =
   let max_batch =
-    Arg.(value & opt int 4096
+    Arg.(value & opt int Serve.default_config.Serve.max_batch
          & info [ "max-batch" ] ~docv:"N" ~doc:"Largest die batch accepted per request.")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Connection worker threads; 0 sizes from the domain pool.")
+  in
+  let queue =
+    Arg.(value & opt int Serve.default_config.Serve.queue
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Accepted connections awaiting a worker before new ones are \
+                   shed with an $(b,overloaded) response.")
+  in
+  let deadline =
+    Arg.(value & opt float Serve.default_config.Serve.deadline
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-request wall-clock budget; expiry answers \
+                   $(b,deadline_exceeded) and closes the connection.")
+  in
+  let idle_timeout =
+    Arg.(value & opt float Serve.default_config.Serve.idle_timeout
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Reap connections silent this long between requests.")
+  in
+  let max_line =
+    Arg.(value & opt int Serve.default_config.Serve.max_line
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"Request-line byte cap; longer lines answer \
+                   $(b,line_too_long) without buffering the flood.")
   in
   let self_check =
     Arg.(value & flag
@@ -525,10 +553,14 @@ let serve_cmd =
              ~doc:"Fork the server, ping it over the socket, shut it down, and exit; \
                    a CI-able one-shot liveness probe.")
   in
-  let run () path socket port max_batch self_check =
+  let run () path socket port max_batch workers queue deadline idle_timeout
+      max_line self_check =
    handle @@ fun () ->
     let artifact =
       match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
+    in
+    let config =
+      { Serve.max_batch; workers; queue; deadline; idle_timeout; max_line }
     in
     let addr = address ~socket ~port in
     if self_check then begin
@@ -538,7 +570,7 @@ let serve_cmd =
         (* lint: allow no-catchall — the child's only job is to turn any
            server failure into a nonzero exit the parent can observe *)
         (try
-           Serve.run ~install_signals:false ~max_batch artifact addr;
+           Serve.run ~install_signals:false ~config artifact addr;
            Stdlib.exit 0
          with _ -> Stdlib.exit 1)
       | pid ->
@@ -557,7 +589,8 @@ let serve_cmd =
            Stdlib.exit 70)
     end
     else begin
-      Serve.run ~max_batch artifact addr
+      (* SIGHUP re-loads the artifact file the server started from *)
+      Serve.run ~config ~reload_from:path artifact addr
         ~on_ready:(fun bound ->
           Printf.printf "pathsel serve: listening on %s (%d paths, %d representatives)\n%!"
             (Serve.address_to_string bound) artifact.Store.n_paths
@@ -568,9 +601,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve batched die-delay predictions from a saved artifact over a \
-             Unix-domain or TCP socket (newline-delimited JSON).")
+             Unix-domain or TCP socket (newline-delimited JSON). SIGHUP \
+             hot-reloads the artifact; SIGINT/SIGTERM drain and exit.")
     Term.(const run $ runtime_arg $ artifact_pos $ socket_arg $ port_arg $ max_batch
-          $ self_check)
+          $ workers $ queue $ deadline $ idle_timeout $ max_line $ self_check)
 
 let client_cmd =
   let op =
@@ -628,24 +662,28 @@ let client_cmd =
      | _ -> ());
     Linalg.Mat.of_arrays (Array.of_list rows)
   in
-  let run op socket port data robust =
+  let retries =
+    Arg.(value & opt int Serve.Client.default_retry.Serve.Client.attempts
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Total $(b,predict) attempts; transport failures and \
+                   string-coded infrastructure errors (overloaded, \
+                   deadline_exceeded, bad_frame) are retried with \
+                   exponential backoff + jitter, semantic errors never.")
+  in
+  let timeout =
+    Arg.(value & opt float Serve.Client.default_retry.Serve.Client.deadline
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-attempt request wall-clock budget.")
+  in
+  let run op socket port data robust retries timeout =
    handle @@ fun () ->
     let addr = address ~socket ~port in
-    let c = Serve.Client.connect addr in
-    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
     let print_response = function
       | Ok resp -> print_endline (Serve.Wire.print resp)
       | Error msg ->
         Core.Errors.raise_error (Core.Errors.Io { file = "<server>"; msg })
     in
     match op with
-    | `Ping ->
-      if Serve.Client.ping c then print_endline "pong"
-      else Core.Errors.raise_error (Core.Errors.Io { file = "<server>"; msg = "no pong" })
-    | `Stats -> print_response (Serve.Client.stats c)
-    | `Shutdown ->
-      Serve.Client.shutdown c;
-      print_endline "shutdown requested"
     | `Predict ->
       let text =
         match data with
@@ -658,16 +696,111 @@ let client_cmd =
            with Sys_error msg -> Core.Errors.raise_error (Core.Errors.Io { file = path; msg }))
       in
       let measured = parse_batch text in
-      (match Serve.Client.predict c ~robust measured with
+      let retry =
+        { Serve.Client.default_retry with
+          Serve.Client.attempts = Int.max 1 retries;
+          deadline = timeout }
+      in
+      (* pid-seeded jitter decorrelates concurrent testers' backoff *)
+      let rng = Rng.create (Unix.getpid ()) in
+      (match Serve.Client.predict_with_retry ~retry ~rng addr ~robust measured with
        | Ok (_, resp) -> print_endline (Serve.Wire.print resp)
        | Error msg ->
          Core.Errors.raise_error (Core.Errors.Bad_data ("server: " ^ msg)))
+    | (`Ping | `Stats | `Shutdown) as op ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      (match op with
+       | `Ping ->
+         if Serve.Client.ping ~deadline:timeout c then print_endline "pong"
+         else
+           Core.Errors.raise_error
+             (Core.Errors.Io { file = "<server>"; msg = "no pong" })
+       | `Stats -> print_response (Serve.Client.stats ~deadline:timeout c)
+       | `Shutdown ->
+         Serve.Client.shutdown c;
+         print_endline "shutdown requested")
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Talk to a running $(b,pathsel serve): ping, stats, shutdown, or a \
-             batched prediction request.")
-    Term.(const run $ op $ socket_arg $ port_arg $ data $ robust)
+             batched prediction request with bounded retries.")
+    Term.(const run $ op $ socket_arg $ port_arg $ data $ robust $ retries
+          $ timeout)
+
+let chaos_cmd =
+  let upstream_socket =
+    Arg.(value & opt (some string) None
+         & info [ "upstream-socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the real server to forward to.")
+  in
+  let upstream_port =
+    Arg.(value & opt (some int) None
+         & info [ "upstream-port" ] ~docv:"PORT"
+             ~doc:"Loopback TCP port of the real server to forward to.")
+  in
+  let spec_arg =
+    let spec_conv =
+      Arg.conv'
+        ( Chaos.of_string,
+          fun ppf s -> Format.fprintf ppf "%s" (Chaos.to_string s) )
+    in
+    Arg.(value & opt spec_conv Chaos.none
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Comma-separated fault spec, e.g. \
+                   $(b,delay=2,corrupt=0.1,stall=0.05). Keys: delay-ms, \
+                   jitter, partial-write, truncate, corrupt, disconnect, \
+                   stall (rates in [0,1]), eintr-burst.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1337
+         & info [ "seed" ] ~docv:"N" ~doc:"Fault-injection RNG seed.")
+  in
+  let signal_pid =
+    Arg.(value & opt (some int) None
+         & info [ "signal-pid" ] ~docv:"PID"
+             ~doc:"Process to storm with SIGUSR1 when $(b,eintr-burst) is set \
+                   (typically the server's pid).")
+  in
+  let run () socket port upstream_socket upstream_port spec seed signal_pid =
+   handle @@ fun () ->
+    if upstream_socket = None && upstream_port = None then
+      Core.Errors.raise_error
+        (Core.Errors.Invalid_input
+           "chaos needs --upstream-socket PATH or --upstream-port PORT");
+    let listen = address ~socket ~port in
+    let upstream = address ~socket:upstream_socket ~port:upstream_port in
+    let proxy = Chaos.start ~seed ?eintr_pid:signal_pid spec ~listen ~upstream in
+    Printf.printf "pathsel chaos: %s -> %s injecting [%s]\n%!"
+      (Serve.address_to_string (Chaos.bound_addr proxy))
+      (Serve.address_to_string upstream)
+      (let s = Chaos.to_string spec in if s = "" then "nothing" else s);
+    let stop = Atomic.make false in
+    let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler;
+    while not (Atomic.get stop) do
+      Unix.sleepf 0.2
+    done;
+    Chaos.stop proxy;
+    let st = Chaos.stats proxy in
+    Printf.printf
+      "pathsel chaos: %d connections, %d chunks, %d bytes; delayed %d, \
+       fragmented %d, truncated %d, corrupted %d, disconnected %d, stalled \
+       %d, %d EINTR signals\n"
+      st.Chaos.connections st.Chaos.chunks st.Chaos.bytes st.Chaos.delayed
+      st.Chaos.partial_writes st.Chaos.truncated st.Chaos.corrupted
+      st.Chaos.disconnected st.Chaos.stalled st.Chaos.eintr_signals
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the fault-injecting proxy between a client and a running \
+             $(b,pathsel serve): forwards every byte, injecting delays, \
+             partial writes, truncation, corruption, disconnects, stalls and \
+             EINTR storms per $(b,--faults). SIGINT/SIGTERM stops it and \
+             prints injection stats.")
+    Term.(const run $ runtime_arg $ socket_arg $ port_arg $ upstream_socket
+          $ upstream_port $ spec_arg $ seed_arg $ signal_pid)
 
 (* ---------------- experiment wrappers ---------------- *)
 
@@ -719,7 +852,7 @@ let main =
        ~doc:"Representative path selection for post-silicon timing prediction \
              (Xie & Davoodi, DAC 2010).")
     [ generate_cmd; select_cmd; hybrid_cmd; spectrum_cmd; sdf_cmd; diagnose_cmd;
-      save_cmd; inspect_cmd; serve_cmd; client_cmd;
+      save_cmd; inspect_cmd; serve_cmd; client_cmd; chaos_cmd;
       table1_cmd; table2_cmd; figure2_cmd; guardband_cmd; ablation_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,5 @@
 module Wire = Wire
+module Io = Io
 
 type address = Unix_sock of string | Tcp of int
 
@@ -18,8 +19,42 @@ let address_to_string = function
   | Unix_sock path -> path
   | Tcp port -> Printf.sprintf "127.0.0.1:%d" port
 
-let rec eintr f =
-  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type config = {
+  max_batch : int;      (* dies accepted per predict request *)
+  max_line : int;       (* request line byte cap (Wire.Framer) *)
+  workers : int;        (* connection worker threads; 0 = from the pool size *)
+  queue : int;          (* accepted connections waiting for a worker *)
+  deadline : float;     (* per-request wall-clock budget, seconds *)
+  idle_timeout : float; (* silent-connection reap, seconds *)
+}
+
+let default_config =
+  {
+    max_batch = 4096;
+    max_line = Wire.default_max_line;
+    workers = 0;
+    queue = 64;
+    deadline = 10.0;
+    idle_timeout = 60.0;
+  }
+
+(* I/O concurrency rides cheap systhreads sized from the compute pool:
+   blocked reads release the runtime lock, and the dense kernels behind
+   each request still run on the Par.Pool domains *)
+let resolved_workers cfg =
+  if cfg.workers > 0 then cfg.workers
+  else Int.max 2 (Int.min 8 (Par.Pool.size ()))
+
+let check_config cfg =
+  if cfg.max_batch < 1 then invalid_arg "Serve: max_batch < 1";
+  if cfg.max_line < 64 then invalid_arg "Serve: max_line < 64";
+  if cfg.workers < 0 then invalid_arg "Serve: workers < 0";
+  if cfg.queue < 1 then invalid_arg "Serve: queue < 1";
+  if not (cfg.deadline > 0.0) then invalid_arg "Serve: deadline must be > 0";
+  if not (cfg.idle_timeout > 0.0) then invalid_arg "Serve: idle_timeout must be > 0"
 
 (* ------------------------------------------------------------------ *)
 (* Server state *)
@@ -28,52 +63,85 @@ let latency_window = 4096
 
 type counters = {
   mutable requests : int;
-  mutable predicted : int;  (* dies *)
+  mutable predicted : int;        (* dies *)
   mutable errors : int;
-  lat : float array;        (* ms, ring buffer *)
-  mutable lat_n : int;      (* total latencies ever recorded *)
+  mutable shed : int;             (* connections refused with "overloaded" *)
+  mutable timeouts : int;         (* request deadlines expired (read or write) *)
+  mutable idle_closed : int;      (* silent connections reaped *)
+  mutable overflows : int;        (* request lines past the byte cap *)
+  mutable reloads : int;          (* successful SIGHUP artifact swaps *)
+  mutable reload_failures : int;  (* SIGHUP loads rejected (bad artifact) *)
+  lat : float array;              (* ms, ring buffer *)
+  mutable lat_n : int;            (* total latencies ever recorded *)
 }
 
-type t = {
+(* everything a request needs from the artifact, swapped atomically on
+   reload: a request snapshots this once and finishes on its snapshot *)
+type hot = {
   artifact : Store.t;
   predictor : Core.Predictor.t;
   robust : Core.Robust.t;
   n_rep : int;
-  max_batch : int;
-  counters : counters;
-  started : float;
-  mutable stop : bool;
 }
 
-let create ?(max_batch = 4096) artifact =
-  if max_batch < 1 then invalid_arg "Serve.create: max_batch < 1";
+type t = {
+  cfg : config;
+  hot : hot Atomic.t;
+  reload_from : string option;
+  reload_requested : bool Atomic.t;
+  stop_flag : bool Atomic.t;
+  counters : counters;
+  cm : Mutex.t;  (* guards [counters]; workers update them concurrently *)
+  started : float;
+}
+
+let hot_of_artifact artifact =
   (* restore once, up front: the dense weight matrix and the robust
      Gram/cross blocks are the precomputed factors every request reuses *)
   let predictor = Store.predictor artifact in
-  let robust = Store.robust artifact in
   {
     artifact;
     predictor;
-    robust;
+    robust = Store.robust artifact;
     n_rep = Array.length (Core.Predictor.rep_indices predictor);
-    max_batch;
-    counters =
-      { requests = 0; predicted = 0; errors = 0;
-        lat = Array.make latency_window 0.0; lat_n = 0 };
-    started = Unix.gettimeofday ();
-    stop = false;
   }
 
-let stopping t = t.stop
+let create ?(config = default_config) ?reload_from artifact =
+  check_config config;
+  {
+    cfg = config;
+    hot = Atomic.make (hot_of_artifact artifact);
+    reload_from;
+    reload_requested = Atomic.make false;
+    stop_flag = Atomic.make false;
+    counters =
+      {
+        requests = 0;
+        predicted = 0;
+        errors = 0;
+        shed = 0;
+        timeouts = 0;
+        idle_closed = 0;
+        overflows = 0;
+        reloads = 0;
+        reload_failures = 0;
+        lat = Array.make latency_window 0.0;
+        lat_n = 0;
+      };
+    cm = Mutex.create ();
+    started = Unix.gettimeofday ();
+  }
 
-let record_latency t ms =
-  let c = t.counters in
-  c.lat.(c.lat_n mod latency_window) <- ms;
-  c.lat_n <- c.lat_n + 1
+let stopping t = Atomic.get t.stop_flag
 
-let latency_stats t =
-  let c = t.counters in
-  let n = min c.lat_n latency_window in
+(* counter updates never raise, so a plain lock/unlock pair is safe *)
+let tick t f =
+  Mutex.lock t.cm;
+  f t.counters;
+  Mutex.unlock t.cm
+
+let latency_stats_locked c =
+  let n = Int.min c.lat_n latency_window in
   if n = 0 then Wire.Null
   else begin
     let window = Array.sub c.lat 0 n in
@@ -93,47 +161,68 @@ let latency_stats t =
 
 let ok_fields op rest = Wire.Obj (("ok", Wire.Bool true) :: ("op", Wire.String op) :: rest)
 
+(* semantic failures (bad shapes, compute errors) carry their
+   sysexits-style numeric code; clients must not retry them *)
 let error_response ?(code = 65) msg =
   Wire.Obj
     [ ("ok", Wire.Bool false); ("error", Wire.String msg); ("code", Wire.Int code) ]
 
+(* infrastructure failures carry a string code ("overloaded",
+   "deadline_exceeded", "line_too_long", "bad_frame"): the request may
+   never have been seen whole, so a retry is safe and expected *)
+let infra_response code msg =
+  Wire.Obj
+    [ ("ok", Wire.Bool false); ("error", Wire.String msg); ("code", Wire.String code) ]
+
 let handle_stats t =
+  let hot = Atomic.get t.hot in
+  let a = hot.artifact in
+  Mutex.lock t.cm;
   let c = t.counters in
-  let a = t.artifact in
-  ok_fields "stats"
+  let fields =
     [
       ("requests", Wire.Int c.requests);
       ("dies_predicted", Wire.Int c.predicted);
       ("errors", Wire.Int c.errors);
+      ("shed", Wire.Int c.shed);
+      ("timeouts", Wire.Int c.timeouts);
+      ("idle_closed", Wire.Int c.idle_closed);
+      ("overflows", Wire.Int c.overflows);
+      ("reloads", Wire.Int c.reloads);
+      ("reload_failures", Wire.Int c.reload_failures);
       (* pool size behind the batched matrix applies (PATHSEL_DOMAINS /
          --domains); the served bits are identical at any value *)
       ("domains", Wire.Int (Par.Pool.size ()));
+      ("workers", Wire.Int (resolved_workers t.cfg));
       ("uptime_s", Wire.Float (Unix.gettimeofday () -. t.started));
-      ("latency_ms", latency_stats t);
+      ("latency_ms", latency_stats_locked c);
       ( "artifact",
         Wire.Obj
           [
             ("fingerprint", Wire.String a.Store.fingerprint);
             ("paths", Wire.Int a.Store.n_paths);
-            ("representatives", Wire.Int t.n_rep);
-            ("predicted_paths", Wire.Int (a.Store.n_paths - t.n_rep));
+            ("representatives", Wire.Int hot.n_rep);
+            ("predicted_paths", Wire.Int (a.Store.n_paths - hot.n_rep));
             ("t_cons_ps", Wire.Float a.Store.t_cons);
             ("eps", Wire.Float a.Store.eps);
           ] );
     ]
+  in
+  Mutex.unlock t.cm;
+  ok_fields "stats" fields
 
-let handle_predict t req =
+let handle_predict t hot req =
   match Wire.member "dies" req with
   | None -> error_response "predict: missing \"dies\""
   | Some dies ->
-    (match Wire.mat_of_json ~cols:t.n_rep dies with
+    (match Wire.mat_of_json ~cols:hot.n_rep dies with
      | Error msg -> error_response ("predict: " ^ msg)
      | Ok measured ->
        let n_dies, _ = Linalg.Mat.dims measured in
-       if n_dies > t.max_batch then
+       if n_dies > t.cfg.max_batch then
          error_response
            (Printf.sprintf "predict: batch of %d dies exceeds the %d-die limit"
-              n_dies t.max_batch)
+              n_dies t.cfg.max_batch)
        else begin
          let dirty_flag =
            match Wire.member "robust" req with Some (Wire.Bool b) -> b | _ -> false
@@ -141,7 +230,7 @@ let handle_predict t req =
          let has_missing =
            let found = ref false in
            for i = 0 to n_dies - 1 do
-             for j = 0 to t.n_rep - 1 do
+             for j = 0 to hot.n_rep - 1 do
                if not (Float.is_finite (Linalg.Mat.get measured i j)) then found := true
              done
            done;
@@ -153,7 +242,7 @@ let handle_predict t req =
             the single matrix-matrix apply *)
          let extra, predicted =
            if dirty_flag || has_missing then begin
-             let pr = Core.Robust.predict_all t.robust ~measured in
+             let pr = Core.Robust.predict_all hot.robust ~measured in
              ( [
                  ("robust", Wire.Bool true);
                  ( "screen",
@@ -168,9 +257,11 @@ let handle_predict t req =
                ],
                pr.Core.Robust.predicted )
            end
-           else ([ ("robust", Wire.Bool false) ], Core.Predictor.predict_all t.predictor ~measured)
+           else
+             ([ ("robust", Wire.Bool false) ],
+              Core.Predictor.predict_all hot.predictor ~measured)
          in
-         t.counters.predicted <- t.counters.predicted + n_dies;
+         tick t (fun c -> c.predicted <- c.predicted + n_dies);
          ok_fields "predict"
            (("dies", Wire.Int n_dies)
             :: extra
@@ -179,22 +270,24 @@ let handle_predict t req =
 
 let handle t line =
   let t0 = Unix.gettimeofday () in
-  t.counters.requests <- t.counters.requests + 1;
+  (* one snapshot per request: a SIGHUP reload swapping [t.hot] mid-soak
+     never changes the artifact a request already started on *)
+  let hot = Atomic.get t.hot in
   let response =
     match Wire.parse line with
-    | Error msg -> error_response ("parse error: " ^ msg)
+    | Error msg -> infra_response "bad_frame" ("parse error: " ^ msg)
     | Ok req ->
       (match Wire.member "op" req with
        | Some (Wire.String "ping") ->
          ok_fields "ping" [ ("version", Wire.Int Store.current_version) ]
        | Some (Wire.String "stats") -> handle_stats t
        | Some (Wire.String "shutdown") ->
-         t.stop <- true;
+         Atomic.set t.stop_flag true;
          ok_fields "shutdown" [ ("draining", Wire.Bool true) ]
        | Some (Wire.String "predict") ->
          (* isolate compute errors: a pathological batch answers
             ok:false instead of tearing the connection down *)
-         (match Core.Errors.catch (fun () -> handle_predict t req) with
+         (match Core.Errors.catch (fun () -> handle_predict t hot req) with
           | Ok resp -> resp
           | Error e ->
             error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
@@ -202,66 +295,113 @@ let handle t line =
        | Some _ -> error_response "\"op\" must be a string"
        | None -> error_response "request must be an object with an \"op\" field")
   in
-  (match response with
-   | Wire.Obj (("ok", Wire.Bool false) :: _) -> t.counters.errors <- t.counters.errors + 1
-   | _ -> ());
-  record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+  let failed =
+    match response with Wire.Obj (("ok", Wire.Bool false) :: _) -> true | _ -> false
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  tick t (fun c ->
+      c.requests <- c.requests + 1;
+      if failed then c.errors <- c.errors + 1;
+      c.lat.(c.lat_n mod latency_window) <- ms;
+      c.lat_n <- c.lat_n + 1);
   Wire.print response
 
 (* ------------------------------------------------------------------ *)
-(* Socket plumbing *)
+(* Connections *)
 
-(* a zero-byte write on a blocking socket: the peer is gone *)
-exception Short_write
-
-let write_all fd s =
-  let len = String.length s in
-  let off = ref 0 in
-  while !off < len do
-    let k = eintr (fun () -> Unix.write_substring fd s !off (len - !off)) in
-    if k = 0 then raise Short_write;
-    off := !off + k
-  done
-
-(* true when [fd] is readable before [timeout]; false on timeout or a
-   signal interruption (the caller re-checks the stop flag either way) *)
-let readable fd timeout =
-  match Unix.select [ fd ] [] [] timeout with
-  | [], _, _ -> false
-  | _ -> true
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve_conn t fd =
-  let pending = Buffer.create 1024 in
-  let lines = Queue.create () in
+  let framer = Wire.Framer.create ~max_line:t.cfg.max_line () in
   let chunk = Bytes.create 65536 in
-  let feed k =
-    for i = 0 to k - 1 do
-      match Bytes.get chunk i with
-      | '\n' ->
-        Queue.add (Buffer.contents pending) lines;
-        Buffer.clear pending
-      | c -> Buffer.add_char pending c
-    done
+  (* [Some t0]: an unterminated request line started arriving at t0 and
+     must complete — bytes and our response — within the deadline *)
+  let started = ref None in
+  let after_response () =
+    started :=
+      (if Wire.Framer.partial framer then Some (Unix.gettimeofday ()) else None)
+  in
+  let respond s =
+    match Io.write_all fd s ~timeout:t.cfg.deadline with
+    | () -> true
+    | exception Io.Timeout ->
+      (* a reader too slow to take its own response: count and drop *)
+      tick t (fun c -> c.timeouts <- c.timeouts + 1);
+      false
+    | exception Io.Closed -> false
   in
   let rec loop () =
-    if not (Queue.is_empty lines) then begin
-      let line = Queue.pop lines in
-      if String.trim line <> "" then write_all fd (handle t line ^ "\n");
-      if not t.stop then loop ()
-    end
-    else if not t.stop then begin
-      if readable fd 0.25 then begin
-        let k = eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) in
-        if k > 0 then begin
-          feed k;
-          loop ()
-        end (* k = 0: EOF, client done *)
-      end
-      else loop ()
-    end
+    if not (Atomic.get t.stop_flag) then
+      match Wire.Framer.pop framer with
+      | Some (Wire.Framer.Line line) ->
+        (* even an empty line gets its (error) response: one line in,
+           one line out keeps client pipelining aligned *)
+        let keep = respond (handle t line ^ "\n") in
+        after_response ();
+        if keep then loop ()
+      | Some (Wire.Framer.Too_long n) ->
+        (* the cap held (bytes past it were discarded as they arrived);
+           the oversized line gets its own typed error and the
+           connection lives on *)
+        tick t (fun c ->
+            c.overflows <- c.overflows + 1;
+            c.errors <- c.errors + 1);
+        let keep =
+          respond
+            (Wire.print
+               (infra_response "line_too_long"
+                  (Printf.sprintf
+                     "request line of %d bytes exceeds the %d-byte cap" n
+                     t.cfg.max_line))
+            ^ "\n")
+        in
+        after_response ();
+        if keep then loop ()
+      | None ->
+        let timeout, mid_request =
+          match !started with
+          | Some t0 ->
+            (Float.max 0.0 (t0 +. t.cfg.deadline -. Unix.gettimeofday ()), true)
+          | None -> (t.cfg.idle_timeout, false)
+        in
+        (match Io.wait_readable fd timeout with
+         | `Interrupted ->
+           (* a signal, not a timeout: re-derive the remaining budget
+              and keep waiting (the old [readable] conflated these) *)
+           loop ()
+         | `Timeout ->
+           if mid_request then begin
+             (* deadline expiry is reported, not silently re-looped; the
+                connection closes because its stream is now mid-frame *)
+             tick t (fun c ->
+                 c.timeouts <- c.timeouts + 1;
+                 c.errors <- c.errors + 1);
+             ignore
+               (respond
+                  (Wire.print
+                     (infra_response "deadline_exceeded"
+                        "request did not complete within the deadline")
+                  ^ "\n"))
+           end
+           else
+             (* silent connection: reap it quietly to free the worker *)
+             tick t (fun c -> c.idle_closed <- c.idle_closed + 1)
+         | `Ready ->
+           (match Io.read fd chunk 0 (Bytes.length chunk) ~timeout:1.0 with
+            | Io.Eof -> () (* client done *)
+            | Io.Read_timeout -> loop ()
+            | Io.Data k ->
+              Wire.Framer.feed framer chunk 0 k;
+              (match !started with
+               | None when Wire.Framer.partial framer ->
+                 started := Some (Unix.gettimeofday ())
+               | _ -> ());
+              loop ()))
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop, worker pool, reload *)
 
 let listen_on addr =
   match addr with
@@ -283,33 +423,123 @@ let listen_on addr =
     in
     (fd, bound, fun () -> ())
 
-let run ?(install_signals = true) ?max_batch ?on_ready artifact addr =
-  let t = create ?max_batch artifact in
+let do_reload t =
+  match t.reload_from with
+  | None -> ()
+  | Some path ->
+    (* load + CRC-verify off to the side; only a good artifact is
+       swapped in, and in-flight requests finish on their snapshot *)
+    (match Store.load path with
+     | Ok artifact ->
+       Atomic.set t.hot (hot_of_artifact artifact);
+       tick t (fun c -> c.reloads <- c.reloads + 1)
+     | Error e ->
+       tick t (fun c -> c.reload_failures <- c.reload_failures + 1);
+       Printf.eprintf
+         "pathsel serve: reload of %s failed: %s (keeping the loaded artifact)\n%!"
+         path (Core.Errors.to_string e))
+
+type shared = {
+  srv : t;
+  q : Unix.file_descr Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+}
+
+let worker sh =
+  let srv = sh.srv in
+  let rec loop () =
+    Mutex.lock sh.qm;
+    while Queue.is_empty sh.q && not (Atomic.get srv.stop_flag) do
+      Condition.wait sh.qc sh.qm
+    done;
+    let job = Queue.take_opt sh.q in
+    Mutex.unlock sh.qm;
+    match job with
+    | None -> () (* stopping and the queue is drained *)
+    | Some fd ->
+      (match serve_conn srv fd with
+       | () -> ()
+       | exception (Unix.Unix_error _ | Sys_error _ | Io.Timeout | Io.Closed) ->
+         (* one bad connection never takes its worker down *)
+         tick srv (fun c -> c.errors <- c.errors + 1));
+      close_quiet fd;
+      loop ()
+  in
+  loop ()
+
+let overloaded_line =
+  Wire.print (infra_response "overloaded" "server at capacity; retry with backoff")
+  ^ "\n"
+
+let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
+  let t = create ?config ?reload_from artifact in
   (* a client hanging up mid-response must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if install_signals then begin
-    let stop_on _ = t.stop <- true in
+    let stop_on _ = Atomic.set t.stop_flag true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on)
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on);
+    (* EINTR storms (e.g. the chaos harness) interrupt syscalls without
+       changing behaviour; the Io wrappers re-derive their budgets *)
+    try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ()))
+    with Invalid_argument _ -> ()
   end;
+  (match t.reload_from with
+   | Some _ ->
+     (* hot reload is armed independently of install_signals so a
+        threaded test server can exercise it too *)
+     (try
+        Sys.set_signal Sys.sighup
+          (Sys.Signal_handle (fun _ -> Atomic.set t.reload_requested true))
+      with Invalid_argument _ -> ())
+   | None -> ());
   let lfd, bound, cleanup = listen_on addr in
+  let sh = { srv = t; q = Queue.create (); qm = Mutex.create (); qc = Condition.create () } in
+  let workers =
+    List.init (resolved_workers t.cfg) (fun _ -> Thread.create worker sh)
+  in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Atomic.set t.stop_flag true;
+      Mutex.lock sh.qm;
+      Condition.broadcast sh.qc;
+      Mutex.unlock sh.qm;
+      List.iter Thread.join workers;
+      (* accepted but never picked up: close without service *)
+      Mutex.lock sh.qm;
+      Queue.iter close_quiet sh.q;
+      Queue.clear sh.q;
+      Mutex.unlock sh.qm;
+      close_quiet lfd;
       cleanup ())
     (fun () ->
       Option.iter (fun f -> f bound) on_ready;
-      while not t.stop do
-        if readable lfd 0.25 then begin
-          match eintr (fun () -> Unix.accept lfd) with
-          | exception Unix.Unix_error _ -> ()
-          | cfd, _ ->
-            (* one bad client never kills the accept loop *)
-            (try serve_conn t cfd
-             with Unix.Unix_error _ | Short_write | Sys_error _ ->
-               t.counters.errors <- t.counters.errors + 1);
-            (try Unix.close cfd with Unix.Unix_error _ -> ())
-        end
+      while not (Atomic.get t.stop_flag) do
+        if Atomic.exchange t.reload_requested false then do_reload t;
+        match Io.wait_readable lfd 0.25 with
+        | `Timeout | `Interrupted -> ()
+        | `Ready ->
+          (match Unix.accept lfd with
+           | exception Unix.Unix_error _ -> ()
+           | cfd, _ ->
+             Mutex.lock sh.qm;
+             if Queue.length sh.q >= t.cfg.queue then begin
+               Mutex.unlock sh.qm;
+               (* bounded in-flight queue: past capacity the connection
+                  is refused with a typed response, not silently queued
+                  into an unbounded backlog *)
+               tick t (fun c -> c.shed <- c.shed + 1);
+               (match Io.write_all cfd overloaded_line ~timeout:0.25 with
+                | () -> ()
+                | exception (Io.Timeout | Io.Closed) -> ());
+               close_quiet cfd
+             end
+             else begin
+               Queue.add cfd sh.q;
+               Condition.signal sh.qc;
+               Mutex.unlock sh.qm
+             end)
       done)
 
 (* ------------------------------------------------------------------ *)
@@ -318,105 +548,185 @@ let run ?(install_signals = true) ?max_batch ?on_ready artifact addr =
 module Client = struct
   type conn = {
     fd : Unix.file_descr;
-    pending : Buffer.t;
+    framer : Wire.Framer.t;
     chunk : Bytes.t;
-    lines : string Queue.t;
   }
 
   let sockaddr_of = function
     | Unix_sock path -> Unix.ADDR_UNIX path
     | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
 
-  let connect ?(retries = 50) addr =
+  let connect ?(retries = 50) ?(timeout = 5.0) addr =
     let sa = sockaddr_of addr in
     let domain = match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
     let rec go n =
       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-      match eintr (fun () -> Unix.connect fd sa) with
+      match Io.connect fd sa ~timeout with
       | () ->
-        { fd; pending = Buffer.create 1024; chunk = Bytes.create 65536;
-          lines = Queue.create () }
-      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n > 0
-        ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+        { fd; framer = Wire.Framer.create (); chunk = Bytes.create 65536 }
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when n > 0 ->
+        (* server still starting (or its backlog momentarily full) *)
+        close_quiet fd;
         Unix.sleepf 0.1;
         go (n - 1)
       | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+        close_quiet fd;
         raise e
     in
     go retries
 
-  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+  let close c = close_quiet c.fd
 
-  let read_line c =
+  exception Oversized of int
+
+  (* one response line within the wall-clock budget; None = EOF *)
+  let read_line ~deadline c =
     let rec go () =
-      if not (Queue.is_empty c.lines) then Some (Queue.pop c.lines)
-      else begin
-        let k = eintr (fun () -> Unix.read c.fd c.chunk 0 (Bytes.length c.chunk)) in
-        if k = 0 then None
-        else begin
-          for i = 0 to k - 1 do
-            match Bytes.get c.chunk i with
-            | '\n' ->
-              Queue.add (Buffer.contents c.pending) c.lines;
-              Buffer.clear c.pending
-            | ch -> Buffer.add_char c.pending ch
-          done;
-          go ()
-        end
-      end
+      match Wire.Framer.pop c.framer with
+      | Some (Wire.Framer.Line l) -> Some l
+      | Some (Wire.Framer.Too_long n) -> raise (Oversized n)
+      | None ->
+        (match
+           Io.read c.fd c.chunk 0 (Bytes.length c.chunk)
+             ~timeout:(Float.max 0.0 (deadline -. Unix.gettimeofday ()))
+         with
+         | Io.Eof -> None
+         | Io.Read_timeout -> raise Io.Timeout
+         | Io.Data k ->
+           Wire.Framer.feed c.framer c.chunk 0 k;
+           go ())
     in
     go ()
 
-  let request c req =
+  let request ?(deadline = 30.0) c req =
+    let dl = Unix.gettimeofday () +. deadline in
     match
-      write_all c.fd (Wire.print req ^ "\n");
-      read_line c
+      Io.write_all c.fd (Wire.print req ^ "\n")
+        ~timeout:(Float.max 0.0 (dl -. Unix.gettimeofday ()));
+      read_line ~deadline:dl c
     with
     | Some line -> Wire.parse line
     | None -> Error "connection closed by server"
+    | exception Io.Timeout -> Error "timeout: no response within the deadline"
+    | exception Io.Closed -> Error "short write: connection lost"
+    | exception Oversized n ->
+      Error (Printf.sprintf "oversized response line (%d bytes)" n)
     | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "socket error: %s" (Unix.error_message e))
-    | exception Short_write -> Error "short write: connection lost"
 
-  let ping c =
-    match request c (Wire.Obj [ ("op", Wire.String "ping") ]) with
+  let ping ?deadline c =
+    match request ?deadline c (Wire.Obj [ ("op", Wire.String "ping") ]) with
     | Ok resp -> Wire.member "ok" resp = Some (Wire.Bool true)
     | Error _ -> false
 
-  let stats c = request c (Wire.Obj [ ("op", Wire.String "stats") ])
+  let stats ?deadline c = request ?deadline c (Wire.Obj [ ("op", Wire.String "stats") ])
 
-  let predict c ?(robust = false) measured =
-    let req =
-      Wire.Obj
-        [
-          ("op", Wire.String "predict");
-          ("robust", Wire.Bool robust);
-          ("dies", Wire.mat_to_json measured);
-        ]
-    in
-    match request c req with
+  let predict_request robust measured =
+    Wire.Obj
+      [
+        ("op", Wire.String "predict");
+        ("robust", Wire.Bool robust);
+        ("dies", Wire.mat_to_json measured);
+      ]
+
+  let decode_predict resp =
+    if Wire.member "ok" resp <> Some (Wire.Bool true) then
+      Error
+        (match Wire.member "error" resp with
+         | Some (Wire.String msg) -> msg
+         | _ -> "server refused the request")
+    else begin
+      match Wire.member "predictions" resp with
+      | Some (Wire.List rows as preds) ->
+        let cols =
+          match rows with Wire.List cells :: _ -> List.length cells | _ -> 0
+        in
+        (match Wire.mat_of_json ~cols preds with
+         | Ok m -> Ok (m, resp)
+         | Error msg -> Error ("bad predictions payload: " ^ msg))
+      | _ -> Error "response carries no predictions"
+    end
+
+  let predict ?deadline c ?(robust = false) measured =
+    match request ?deadline c (predict_request robust measured) with
     | Error msg -> Error msg
-    | Ok resp ->
-      if Wire.member "ok" resp <> Some (Wire.Bool true) then
-        Error
-          (match Wire.member "error" resp with
-           | Some (Wire.String msg) -> msg
-           | _ -> "server refused the request")
-      else begin
-        match Wire.member "predictions" resp with
-        | Some (Wire.List rows as preds) ->
-          let cols =
-            match rows with Wire.List cells :: _ -> List.length cells | _ -> 0
-          in
-          (match Wire.mat_of_json ~cols preds with
-           | Ok m -> Ok (m, resp)
-           | Error msg -> Error ("bad predictions payload: " ^ msg))
-        | _ -> Error "response carries no predictions"
-      end
+    | Ok resp -> decode_predict resp
 
   let shutdown c =
     match request c (Wire.Obj [ ("op", Wire.String "shutdown") ]) with
     | Ok _ | Error _ -> ()
+
+  (* ---------------- retries ---------------- *)
+
+  type retry = {
+    attempts : int;
+    base_delay : float;
+    max_delay : float;
+    connect_timeout : float;
+    deadline : float;
+  }
+
+  let default_retry =
+    {
+      attempts = 5;
+      base_delay = 0.05;
+      max_delay = 2.0;
+      connect_timeout = 5.0;
+      deadline = 30.0;
+    }
+
+  (* Retry only what is safe to retry: transport failures (the server
+     may never have seen the request — and predictions are idempotent
+     anyway) and infrastructure responses, whose string [code] says the
+     request was shed before being served whole. Semantic errors carry
+     a numeric code and retrying them would just repeat the answer. *)
+  let retryable_response resp =
+    match Wire.member "ok" resp with
+    | Some (Wire.Bool false) ->
+      (match Wire.member "code" resp with
+       | Some (Wire.String _) -> true
+       | _ -> false)
+    | _ -> false
+
+  let request_with_retry ?(retry = default_retry) ?rng addr req =
+    if retry.attempts < 1 then
+      invalid_arg "Client.request_with_retry: attempts < 1";
+    let rng =
+      match rng with Some r -> r | None -> Rng.create 0x5eed (* deterministic default *)
+    in
+    let rec go attempt prev_sleep =
+      let result =
+        match connect ~retries:0 ~timeout:retry.connect_timeout addr with
+        | c ->
+          Fun.protect
+            ~finally:(fun () -> close c)
+            (fun () -> request ~deadline:retry.deadline c req)
+        | exception Io.Timeout -> Error "connect timeout"
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+      in
+      let try_again =
+        match result with Error _ -> true | Ok resp -> retryable_response resp
+      in
+      if (not try_again) || attempt >= retry.attempts then result
+      else begin
+        (* exponential backoff with decorrelated jitter:
+           sleep ~ U(base, 3 * previous sleep), capped at max_delay *)
+        let hi =
+          Float.max retry.base_delay (Float.min retry.max_delay (prev_sleep *. 3.0))
+        in
+        let sleep = Rng.uniform rng retry.base_delay hi in
+        Unix.sleepf sleep;
+        go (attempt + 1) sleep
+      end
+    in
+    go 1 retry.base_delay
+
+  let predict_with_retry ?retry ?rng addr ?(robust = false) measured =
+    match request_with_retry ?retry ?rng addr (predict_request robust measured) with
+    | Error msg -> Error msg
+    | Ok resp -> decode_predict resp
 end

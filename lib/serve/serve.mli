@@ -3,11 +3,11 @@
     [pathsel select] re-runs the whole pipeline (netlist -> SSTA ->
     extraction -> SVD -> selection) on every invocation; this module is
     the serving half the paper's amortization argument implies. A
-    long-running, single-process server loads one {!Store} artifact at
-    startup, keeps the predictor's precomputed factors hot (the dense
-    Theorem-2 weight matrix, and the Gram/cross blocks behind
-    {!Core.Robust}'s per-pattern Cholesky solves), and answers batches
-    of dies with one matrix-matrix apply instead of a per-die pipeline.
+    long-running server loads one {!Store} artifact at startup, keeps
+    the predictor's precomputed factors hot (the dense Theorem-2 weight
+    matrix, and the Gram/cross blocks behind {!Core.Robust}'s
+    per-pattern Cholesky solves), and answers batches of dies with one
+    matrix-matrix apply instead of a per-die pipeline.
 
     {2 Protocol}
 
@@ -27,14 +27,46 @@
     {!Core.Robust} (MAD screen + per-survivor-pattern reduced solves on
     the artifact's cached Gram blocks); clean unflagged batches take
     the plain {!Core.Predictor} matrix path, and the two agree
-    bit-for-bit on clean data. Responses carry ["ok":true] with
-    per-batch results, or ["ok":false] with an error message and a
-    sysexits-style [code] — a malformed line poisons only its own
-    response, never the connection or the accept loop. *)
+    bit-for-bit on clean data. A malformed line poisons only its own
+    response, never the connection or the accept loop.
+
+    {2 Failure codes}
+
+    ["ok":false] responses carry a [code] in one of two vocabularies:
+
+    - {b semantic} errors — bad shapes, over-limit batches, compute
+      failures — carry the sysexits-style {e integer} codes of
+      {!Core.Errors.exit_code}. Retrying one repeats the answer.
+    - {b infrastructure} errors carry a {e string} code:
+      ["overloaded"] (connection shed at the bounded queue),
+      ["deadline_exceeded"] (the per-request wall clock expired),
+      ["line_too_long"] (the {!Wire.default_max_line} cap tripped) and
+      ["bad_frame"] (the line did not parse as JSON — possibly mangled
+      in transit). These are safe to retry, and {!Client.retry} does.
+
+    {2 Operations}
+
+    The server runs a small pool of connection-worker threads (blocking
+    socket calls release the OCaml runtime lock; the dense kernels
+    behind each request still ride the {!Par.Pool} domains) behind a
+    bounded accept queue. Past capacity, connections are refused with
+    an ["overloaded"] response instead of piling into the kernel
+    backlog. Every read and write carries a wall-clock budget
+    ({!config}'s [deadline]); silent connections are reaped after
+    [idle_timeout]. SIGINT/SIGTERM (and the [shutdown] op) drain
+    in-flight requests before exit. When [reload_from] is given, SIGHUP
+    loads and CRC-verifies that artifact off to the side and atomically
+    swaps the predictor state — in-flight requests finish on the
+    snapshot they started with, and a bad artifact is rejected without
+    touching the serving state. *)
 
 module Wire : module type of Wire
 (** Re-export: [Serve] is the library's entry module, so the wire
     format is reachable as [Serve.Wire] from outside. *)
+
+module Io : module type of Io
+(** Re-export of the timeout-wrapped socket primitives (also used by
+    the [Chaos] proxy). *)
 
 type address =
   | Unix_sock of string  (** filesystem path of a Unix-domain socket *)
@@ -47,58 +79,88 @@ val address_to_string : address -> string
 
 (** {1 Server} *)
 
-type t
-(** Server state: artifact, predictors, counters, stop flag. *)
+type config = {
+  max_batch : int;      (** dies accepted per predict request (4096) *)
+  max_line : int;       (** request-line byte cap ({!Wire.default_max_line}) *)
+  workers : int;        (** connection worker threads; 0 = sized from
+                            {!Par.Pool.size} (clamped to 2..8) *)
+  queue : int;          (** accepted connections awaiting a worker (64);
+                            beyond it, connections are shed *)
+  deadline : float;     (** per-request wall-clock budget, seconds (10) *)
+  idle_timeout : float; (** silent-connection reap, seconds (60) *)
+}
 
-val create : ?max_batch:int -> Store.t -> t
+val default_config : config
+
+type t
+(** Server state: config, hot artifact snapshot, counters, stop flag. *)
+
+val create : ?config:config -> ?reload_from:string -> Store.t -> t
 (** Build the serving state: restores the Theorem-2 predictor and the
-    robust predictor from the artifact once, up front. [max_batch]
-    bounds the dies accepted per request (default 4096). *)
+    robust predictor from the artifact once, up front. [reload_from]
+    names the artifact path a SIGHUP re-loads. *)
 
 val handle : t -> string -> string
 (** Process one request line into one response line (no trailing
     newline). Never raises: parse errors, bad shapes, and numerical
     failures all become ["ok":false] responses and count toward the
-    error counter. A ["shutdown"] request flips the stop flag. *)
+    error counter. A ["shutdown"] request flips the stop flag.
+    Thread-safe. *)
 
 val stopping : t -> bool
 
+val listen_on : address -> Unix.file_descr * address * (unit -> unit)
+(** Bind + listen on [address]; returns the listening descriptor, the
+    bound address (the actual port for [Tcp 0]) and a cleanup thunk
+    that removes the Unix socket file. Shared with the [Chaos] proxy. *)
+
 val run :
   ?install_signals:bool ->
-  ?max_batch:int ->
+  ?config:config ->
+  ?reload_from:string ->
   ?on_ready:(address -> unit) ->
   Store.t ->
   address ->
   unit
 (** Serve until a [shutdown] request or (with [install_signals], the
-    default) SIGINT/SIGTERM. The in-flight request is drained — its
-    response is written — before the loop exits; the Unix socket file
-    is removed on the way out. [on_ready] fires once listening, with
-    the bound address (the actual port when [Tcp 0] was requested).
-    Connections are handled sequentially; a failing connection is
-    dropped without disturbing the accept loop. *)
+    default) SIGINT/SIGTERM. In-flight requests are drained — their
+    responses written — before the loop exits; the Unix socket file is
+    removed on the way out. [on_ready] fires once listening, with the
+    bound address (the actual port when [Tcp 0] was requested).
+    SIGHUP hot reload is armed whenever [reload_from] is given, even
+    with [install_signals:false]. The [stats] op surfaces the per-cause
+    counters: [shed], [timeouts], [idle_closed], [overflows],
+    [reloads], [reload_failures]. *)
 
 (** {1 Client} *)
 
 module Client : sig
   type conn
 
-  val connect : ?retries:int -> address -> conn
-  (** Retries [ECONNREFUSED]/[ENOENT] every 100 ms ([retries] times,
-      default 50) to absorb server startup; raises [Unix.Unix_error]
-      once exhausted. *)
+  val connect : ?retries:int -> ?timeout:float -> address -> conn
+  (** Retries [ECONNREFUSED]/[ENOENT]/[EAGAIN] every 100 ms ([retries]
+      times, default 50) to absorb server startup; each attempt's
+      connect carries [timeout] seconds (default 5). Raises
+      [Unix.Unix_error] or {!Io.Timeout} once exhausted. *)
 
   val close : conn -> unit
 
-  val request : conn -> Wire.json -> (Wire.json, string) result
-  (** One round trip: print, send, read one line, parse. *)
+  val request : ?deadline:float -> conn -> Wire.json -> (Wire.json, string) result
+  (** One round trip: print, send, read one line, parse — all within
+      [deadline] seconds of wall clock (default 30). A timeout, a lost
+      connection, or an unparseable response is the [Error] case; it
+      never blocks forever on a dead peer. *)
 
-  val ping : conn -> bool
+  val ping : ?deadline:float -> conn -> bool
 
-  val stats : conn -> (Wire.json, string) result
+  val stats : ?deadline:float -> conn -> (Wire.json, string) result
 
   val predict :
-    conn -> ?robust:bool -> Linalg.Mat.t -> (Linalg.Mat.t * Wire.json, string) result
+    ?deadline:float ->
+    conn ->
+    ?robust:bool ->
+    Linalg.Mat.t ->
+    (Linalg.Mat.t * Wire.json, string) result
   (** Send a [dies x r] measurement batch; returns the
       [dies x (n-r)] predictions plus the full response object
       (screen/fallback counters live there). An ["ok":false] response
@@ -107,4 +169,39 @@ module Client : sig
   val shutdown : conn -> unit
   (** Best-effort: sends the request and reads the ack; errors are
       swallowed (the server may die first). *)
+
+  (** {2 Retry policy}
+
+      For embedding in a tester loop: bounded attempts, exponential
+      backoff with decorrelated jitter
+      ([sleep ~ U(base_delay, 3 * previous sleep)], capped at
+      [max_delay]), and a fresh connection per attempt. Only transport
+      failures and string-coded infrastructure responses are retried —
+      semantic errors (integer [code]) never are. *)
+
+  type retry = {
+    attempts : int;         (** total tries, >= 1 (5) *)
+    base_delay : float;     (** backoff floor, seconds (0.05) *)
+    max_delay : float;      (** backoff cap, seconds (2) *)
+    connect_timeout : float;(** per-attempt connect budget, seconds (5) *)
+    deadline : float;       (** per-attempt request budget, seconds (30) *)
+  }
+
+  val default_retry : retry
+
+  val request_with_retry :
+    ?retry:retry -> ?rng:Rng.t -> address -> Wire.json -> (Wire.json, string) result
+  (** The final attempt's outcome is returned as-is (including a
+      semantic ["ok":false] response as [Ok]). [rng] drives the jitter;
+      the default is a fixed seed, so pass one for cross-process
+      decorrelation. *)
+
+  val predict_with_retry :
+    ?retry:retry ->
+    ?rng:Rng.t ->
+    address ->
+    ?robust:bool ->
+    Linalg.Mat.t ->
+    (Linalg.Mat.t * Wire.json, string) result
+  (** {!predict} through {!request_with_retry}. *)
 end

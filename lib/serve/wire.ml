@@ -227,6 +227,61 @@ let parse s =
   | exception Bad msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
+(* Framing: incremental newline splitting with a line-length cap *)
+
+let default_max_line = 16 * 1024 * 1024
+
+module Framer = struct
+  type item = Line of string | Too_long of int
+
+  type t = {
+    max_line : int;
+    pending : Buffer.t;   (* the unterminated tail of the input *)
+    out : item Queue.t;
+    mutable dropped : int;  (* bytes discarded past the cap; 0 = not overflowing *)
+  }
+
+  let create ?(max_line = default_max_line) () =
+    if max_line < 1 then invalid_arg "Wire.Framer.create: max_line < 1";
+    { max_line; pending = Buffer.create 1024; out = Queue.create (); dropped = 0 }
+
+  (* a trailing '\r' belongs to a CRLF terminator, not the payload *)
+  let finish_line t =
+    let line = Buffer.contents t.pending in
+    Buffer.clear t.pending;
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+  let feed t bytes ofs len =
+    if ofs < 0 || len < 0 || ofs + len > Bytes.length bytes then
+      invalid_arg "Wire.Framer.feed: bad range";
+    for i = ofs to ofs + len - 1 do
+      let c = Bytes.get bytes i in
+      if t.dropped > 0 then
+        if c = '\n' then begin
+          (* the oversized line finally ended; report its total size *)
+          Queue.add (Too_long (t.max_line + t.dropped)) t.out;
+          t.dropped <- 0
+        end
+        else t.dropped <- t.dropped + 1
+      else if c = '\n' then Queue.add (Line (finish_line t)) t.out
+      else if Buffer.length t.pending >= t.max_line then begin
+        (* cap tripped: free the buffered prefix immediately — holding
+           it is exactly the OOM a newline-less flood aims for *)
+        Buffer.clear t.pending;
+        t.dropped <- 1
+      end
+      else Buffer.add_char t.pending c
+    done
+
+  let pop t = Queue.take_opt t.out
+
+  let partial t = Buffer.length t.pending > 0 || t.dropped > 0
+
+  let overflowing t = t.dropped > 0
+end
+
+(* ------------------------------------------------------------------ *)
 (* Accessors *)
 
 let member key = function

@@ -27,6 +27,41 @@ val parse : string -> (json, string) result
     escapes, numbers, [true]/[false]/[null]); trailing garbage is an
     error. Numbers without [./e] parse as [Int], others as [Float]. *)
 
+(** {1 Framing}
+
+    Requests and responses are newline-delimited; the framer does the
+    incremental splitting, tolerates CRLF terminators, and enforces a
+    per-line byte cap so a newline-less flood cannot grow a buffer
+    without bound — past the cap the line's bytes are discarded as they
+    arrive and the line surfaces as {!Framer.Too_long}. *)
+
+val default_max_line : int
+(** 16 MiB — comfortably above any sane measurement batch. *)
+
+module Framer : sig
+  type t
+
+  type item =
+    | Line of string   (** one complete line, terminator(s) stripped *)
+    | Too_long of int  (** an over-cap line ended; its total byte count *)
+
+  val create : ?max_line:int -> unit -> t
+  (** [max_line] defaults to {!default_max_line}. *)
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** Feed [len] bytes at [ofs]; completed lines queue up for {!pop}. *)
+
+  val pop : t -> item option
+
+  val partial : t -> bool
+  (** An unterminated line is pending (buffered or being discarded) —
+      the signal that a request is mid-flight for deadline purposes. *)
+
+  val overflowing : t -> bool
+  (** The current unterminated line already exceeds the cap; servers
+      can reject without waiting for the newline that may never come. *)
+end
+
 (** {1 Accessors} *)
 
 val member : string -> json -> json option

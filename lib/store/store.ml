@@ -212,15 +212,47 @@ let of_bytes ?(file = "<bytes>") s =
 (* ------------------------------------------------------------------ *)
 (* Files *)
 
+(* Crash-safe: the bytes go to a same-directory temp file which is
+   fsynced and then atomically renamed over [path]. A crash at any
+   instant leaves either the previous artifact or the new one on disk,
+   never a torn hybrid — which is what lets a serving process SIGHUP-
+   reload from [path] while another process rewrites it. *)
 let save path t =
+  let bytes = to_bytes t in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let remove_quiet f = try Sys.remove f with Sys_error _ -> () in
   match
-    let bytes = to_bytes t in
-    let oc = open_out_bin path in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-        output_string oc bytes)
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let b = Bytes.of_string bytes in
+        let n = Bytes.length b in
+        let off = ref 0 in
+        while !off < n do
+          off := !off + Unix.write fd b !off (n - !off)
+        done;
+        Unix.fsync fd);
+    Sys.rename tmp path;
+    (* durability of the rename itself: fsync the directory entry;
+       best-effort — not every filesystem lets you open a directory *)
+    (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+     | dfd ->
+       (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+       (try Unix.close dfd with Unix.Unix_error _ -> ())
+     | exception Unix.Unix_error _ -> ())
   with
   | () -> Ok ()
-  | exception Sys_error msg -> Error (Core.Errors.Io { file = path; msg })
+  | exception Sys_error msg ->
+    remove_quiet tmp;
+    Error (Core.Errors.Io { file = path; msg })
+  | exception Unix.Unix_error (err, fn, _) ->
+    remove_quiet tmp;
+    Error
+      (Core.Errors.Io
+         { file = path; msg = Printf.sprintf "%s: %s" fn (Unix.error_message err) })
 
 let load path =
   match

@@ -83,6 +83,11 @@ val of_bytes : ?file:string -> string -> (t, Core.Errors.t) result
 (** [file] tags the typed error (default ["<bytes>"]). *)
 
 val save : string -> t -> (unit, Core.Errors.t) result
+(** Crash-safe write: bytes land in a same-directory temp file, are
+    fsynced, and are atomically renamed over the destination. A crash
+    mid-save leaves either the old artifact or the new one — never a
+    torn file — so a server may SIGHUP-reload the path while a writer
+    replaces it. *)
 
 val load : string -> (t, Core.Errors.t) result
 

@@ -52,6 +52,10 @@ let par_ref_bad =
   "let total = ref 0\n\
    let f n = Par.Pool.parallel_for 0 n (fun i -> total := !total + i)"
 
+let unbounded_read_bad = "let f fd buf = Unix.read fd buf 0 (Bytes.length buf)"
+let unbounded_write_bad = "let f fd b = Unix.write fd b 0 (Bytes.length b)"
+let unbounded_connect_bad = "let f fd sa = Unix.connect fd sa"
+
 let par_local_ref_good =
   "let f n =\n\
   \  let total = ref 0 in\n\
@@ -97,6 +101,23 @@ let unit_tests =
       check_silent "no-exit" ~path:"bin/pathsel.ml" exit_bad );
     ( "mutable-global-in-par silent on region-local ref",
       check_silent "mutable-global-in-par" par_local_ref_good );
+    (* no-unbounded-io: raw socket calls in serving code must go
+       through the deadline-carrying Serve.Io wrappers *)
+    ( "no-unbounded-io fires on Unix.read in lib/serve",
+      check_fires "no-unbounded-io" ~path:"lib/serve/serve.ml" unbounded_read_bad );
+    ( "no-unbounded-io fires on Unix.write in lib/chaos",
+      check_fires "no-unbounded-io" ~path:"lib/chaos/chaos.ml" unbounded_write_bad );
+    ( "no-unbounded-io fires on Unix.connect",
+      check_fires "no-unbounded-io" ~path:"lib/serve/client.ml"
+        unbounded_connect_bad );
+    ( "no-unbounded-io silent in the wrapper file",
+      check_silent "no-unbounded-io" ~path:"lib/serve/io.ml" unbounded_read_bad );
+    ( "no-unbounded-io silent outside serving code",
+      check_silent "no-unbounded-io" ~path:"lib/store/store.ml"
+        unbounded_write_bad );
+    ( "no-unbounded-io silent on select/accept",
+      check_silent "no-unbounded-io" ~path:"lib/serve/serve.ml"
+        "let f fd = Unix.select [ fd ] [] [] 0.25, Unix.accept fd" );
     (* suppression comments *)
     ( "suppression silences a rule",
       check_silent "no-float-eq" ("(* lint: allow no-float-eq *)\n" ^ float_eq_bad) );

@@ -48,7 +48,7 @@ let bits_equal m1 m2 =
 
 (* run the real accept loop on a background thread; the client drives
    it over the socket and shuts it down at the end *)
-let with_server f =
+let with_server ?config ?reload_from f =
   let store, clean = Lazy.force artifact in
   let dir = Filename.temp_file "pathsel-serve" "" in
   Sys.remove dir;
@@ -56,7 +56,10 @@ let with_server f =
   let path = Filename.concat dir "s.sock" in
   let addr = Serve.Unix_sock path in
   let thread =
-    Thread.create (fun () -> Serve.run ~install_signals:false store addr) ()
+    Thread.create
+      (fun () ->
+        Serve.run ~install_signals:false ?config ?reload_from store addr)
+      ()
   in
   Fun.protect
     ~finally:(fun () ->
@@ -69,6 +72,10 @@ let with_server f =
       (try Sys.remove path with Sys_error _ -> ());
       try Unix.rmdir dir with Unix.Unix_error _ -> ())
     (fun () -> f store clean addr)
+
+let sock_path = function
+  | Serve.Unix_sock p -> p
+  | Serve.Tcp _ -> assert false
 
 (* raw line-level access, for sending deliberately malformed requests *)
 let raw_connect path =
@@ -83,9 +90,14 @@ let raw_connect path =
   in
   go 50
 
-let raw_roundtrip fd line =
-  let msg = Bytes.of_string (line ^ "\n") in
-  ignore (Unix.write fd msg 0 (Bytes.length msg));
+let raw_send fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done
+
+let raw_read_line fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
   let rec read_line () =
@@ -103,6 +115,33 @@ let raw_roundtrip fd line =
     end
   in
   read_line ()
+
+let raw_roundtrip fd line =
+  raw_send fd (line ^ "\n");
+  raw_read_line fd
+
+(* response triage: ok flag and the failure-code vocabulary *)
+let response_ok r =
+  match Serve.Wire.parse r with
+  | Ok j -> Serve.Wire.member "ok" j = Some (Serve.Wire.Bool true)
+  | Error _ -> false
+
+let response_code r =
+  match Serve.Wire.parse r with
+  | Ok j -> Serve.Wire.member "code" j
+  | Error _ -> None
+
+let check_infra_code label r code =
+  if response_code r <> Some (Serve.Wire.String code) then
+    Alcotest.failf "%s: expected string code %S, got %s" label code r
+
+let stat_int c key =
+  match Serve.Client.stats c with
+  | Error m -> Alcotest.failf "stats failed: %s" m
+  | Ok j ->
+    (match Serve.Wire.member key j with
+     | Some (Serve.Wire.Int n) -> n
+     | _ -> Alcotest.failf "stats missing int field %S" key)
 
 (* ------------------------------------------------------------------ *)
 
@@ -241,6 +280,238 @@ let test_stats_counters () =
             (List.mem_assoc "p99" fields && List.mem_assoc "mean" fields)
         | _ -> Alcotest.fail "stats missing latency_ms")
 
+(* ------------------------------------------------------------------ *)
+(* Framing edge cases *)
+
+let test_framer_edges () =
+  let open Serve.Wire in
+  let f = Framer.create ~max_line:32 () in
+  (* a line split across many one-byte reads reassembles *)
+  let line = "{\"op\":\"ping\"}" in
+  String.iter (fun c -> Framer.feed f (Bytes.make 1 c) 0 1) (line ^ "\n");
+  (match Framer.pop f with
+   | Some (Framer.Line l) -> Alcotest.(check string) "tiny reads" line l
+   | _ -> Alcotest.fail "expected a line from one-byte feeds");
+  (* CRLF terminators are tolerated *)
+  let b = Bytes.of_string "abc\r\n" in
+  Framer.feed f b 0 (Bytes.length b);
+  (match Framer.pop f with
+   | Some (Framer.Line l) -> Alcotest.(check string) "CRLF stripped" "abc" l
+   | _ -> Alcotest.fail "expected a line from CRLF input");
+  (* empty line is a line, not a protocol wedge *)
+  Framer.feed f (Bytes.of_string "\n") 0 1;
+  (match Framer.pop f with
+   | Some (Framer.Line "") -> ()
+   | _ -> Alcotest.fail "expected an empty line");
+  (* over-cap flood: capped, buffered prefix discarded, total reported *)
+  Alcotest.(check bool) "not overflowing" false (Framer.overflowing f);
+  let flood = Bytes.of_string (String.make 100 'x') in
+  Framer.feed f flood 0 100;
+  Alcotest.(check bool) "overflowing mid-flood" true (Framer.overflowing f);
+  Alcotest.(check bool) "partial while discarding" true (Framer.partial f);
+  Framer.feed f (Bytes.of_string "\n") 0 1;
+  (match Framer.pop f with
+   | Some (Framer.Too_long n) -> Alcotest.(check int) "total bytes" 100 n
+   | _ -> Alcotest.fail "expected Too_long");
+  (* and the next line is unaffected *)
+  Framer.feed f (Bytes.of_string "ok\n") 0 3;
+  match Framer.pop f with
+  | Some (Framer.Line "ok") -> ()
+  | _ -> Alcotest.fail "line after the overflow was lost"
+
+let test_framing_over_socket () =
+  let config = { Serve.default_config with Serve.max_line = 256 } in
+  with_server ~config (fun _store _clean addr ->
+      let fd = raw_connect (sock_path addr) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      (* a newline-less flood far past the cap: typed error, capped
+         memory, and the connection survives *)
+      raw_send fd (String.make 4096 'z');
+      raw_send fd "\n";
+      let r = raw_read_line fd in
+      check_infra_code "oversized line" r "line_too_long";
+      (* trailing garbage after valid JSON poisons only that line *)
+      let r = raw_roundtrip fd "{\"op\":\"ping\"} trailing" in
+      check_infra_code "trailing garbage" r "bad_frame";
+      (* an empty line is a frame error, not a hang or a disconnect *)
+      let r = raw_roundtrip fd "" in
+      check_infra_code "empty line" r "bad_frame";
+      (* CRLF-terminated request works *)
+      raw_send fd "{\"op\":\"ping\"}\r\n";
+      Alcotest.(check bool) "CRLF request" true (response_ok (raw_read_line fd));
+      (* a request dribbled out one byte at a time still completes *)
+      String.iter (fun c -> raw_send fd (String.make 1 c)) "{\"op\":\"ping\"}\n";
+      Alcotest.(check bool) "tiny writes" true (response_ok (raw_read_line fd)))
+
+(* ------------------------------------------------------------------ *)
+(* Overload shedding, deadlines, idle reaping *)
+
+let test_shed_overloaded () =
+  let config = { Serve.default_config with Serve.workers = 1; queue = 1 } in
+  with_server ~config (fun _store _clean addr ->
+      let path = sock_path addr in
+      (* occupy the single worker ... *)
+      let a = raw_connect path in
+      Thread.delay 0.3;
+      (* ... fill the one queue slot ... *)
+      let b = raw_connect path in
+      Thread.delay 0.3;
+      (* ... and the next connection must be shed with a typed code *)
+      let c = raw_connect path in
+      Fun.protect
+        ~finally:(fun () -> List.iter Unix.close [ a; b; c ])
+      @@ fun () ->
+      let r = raw_read_line c in
+      check_infra_code "shed connection" r "overloaded";
+      (* the worker's own connection still serves, and counted the shed *)
+      let r = raw_roundtrip a "{\"op\":\"ping\"}" in
+      Alcotest.(check bool) "occupied conn still serves" true (response_ok r);
+      let r = raw_roundtrip a "{\"op\":\"stats\"}" in
+      match Serve.Wire.parse r with
+      | Ok j ->
+        (match Serve.Wire.member "shed" j with
+         | Some (Serve.Wire.Int n) when n >= 1 -> ()
+         | _ -> Alcotest.failf "shed counter missing or zero: %s" r)
+      | Error m -> Alcotest.failf "stats unparseable: %s" m)
+
+let test_deadline_exceeded () =
+  let config = { Serve.default_config with Serve.deadline = 0.4 } in
+  with_server ~config (fun _store _clean addr ->
+      let fd = raw_connect (sock_path addr) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      (* start a request line and never finish it: the wall clock, not
+         the read loop, decides when it dies *)
+      raw_send fd "{\"op\":";
+      let t0 = Unix.gettimeofday () in
+      let r = raw_read_line fd in
+      let dt = Unix.gettimeofday () -. t0 in
+      check_infra_code "deadline expiry" r "deadline_exceeded";
+      Alcotest.(check bool) "expired near the configured deadline" true
+        (dt >= 0.2 && dt < 5.0);
+      (* mid-frame stream: the server must close after answering *)
+      Alcotest.(check string) "closed after deadline" "" (raw_read_line fd);
+      (* the per-cause counter is visible to a fresh client *)
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      Alcotest.(check bool) "timeouts counter" true (stat_int c "timeouts" >= 1))
+
+let test_idle_reaped () =
+  let config = { Serve.default_config with Serve.idle_timeout = 0.3 } in
+  with_server ~config (fun _store _clean addr ->
+      let fd = raw_connect (sock_path addr) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      (* no request in flight: a silent connection is closed without a
+         response (idle reap, not deadline expiry) *)
+      Alcotest.(check string) "silent close" "" (raw_read_line fd);
+      Alcotest.(check bool) "after the idle window" true
+        (Unix.gettimeofday () -. t0 >= 0.2);
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      Alcotest.(check bool) "idle_closed counter" true
+        (stat_int c "idle_closed" >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* SIGHUP hot reload *)
+
+let test_sighup_reload () =
+  let store, _ = Lazy.force artifact in
+  let apath = Filename.temp_file "pathsel-reload" ".psa" in
+  (match Store.save apath store with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save failed: %s" (Core.Errors.to_string e));
+  Fun.protect ~finally:(fun () -> try Sys.remove apath with Sys_error _ -> ())
+  @@ fun () ->
+  with_server ~reload_from:apath (fun store clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let expected =
+        Core.Predictor.predict_all (Store.predictor store) ~measured:clean
+      in
+      let predict_ok label =
+        match Serve.Client.predict c clean with
+        | Ok (m, _) ->
+          Alcotest.(check bool) (label ^ ": bits stable") true
+            (bits_equal m expected)
+        | Error m -> Alcotest.failf "%s: predict failed: %s" label m
+      in
+      predict_ok "before reload";
+      (* swap in a same-selection artifact under a new fingerprint *)
+      (match
+         Store.save apath { store with Store.fingerprint = "test:serve v2" }
+       with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "re-save failed: %s" (Core.Errors.to_string e));
+      Unix.kill (Unix.getpid ()) Sys.sighup;
+      (* the accept loop applies the reload between accepts; poll *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while stat_int c "reloads" < 1 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.05
+      done;
+      Alcotest.(check bool) "reload counted" true (stat_int c "reloads" >= 1);
+      (match Serve.Client.stats c with
+       | Ok j ->
+         (match Serve.Wire.member "artifact" j with
+          | Some a ->
+            (match Serve.Wire.member "fingerprint" a with
+             | Some (Serve.Wire.String "test:serve v2") -> ()
+             | _ -> Alcotest.failf "fingerprint not swapped: %s" (Serve.Wire.print j))
+          | None -> Alcotest.fail "stats missing artifact")
+       | Error m -> Alcotest.failf "stats failed: %s" m);
+      predict_ok "after reload";
+      (* a corrupt artifact is rejected: serving state untouched *)
+      Out_channel.with_open_bin apath (fun oc ->
+          Out_channel.output_string oc "definitely not an artifact");
+      Unix.kill (Unix.getpid ()) Sys.sighup;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while stat_int c "reload_failures" < 1 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.05
+      done;
+      Alcotest.(check bool) "bad artifact rejected" true
+        (stat_int c "reload_failures" >= 1);
+      predict_ok "after failed reload")
+
+(* ------------------------------------------------------------------ *)
+(* Client retry policy *)
+
+let test_retry_semantics () =
+  with_server (fun _store clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let _, cols = Linalg.Mat.dims clean in
+      let bad = Linalg.Mat.create 1 (cols + 1) in
+      let r0 = stat_int c "requests" in
+      (* a semantic error (integer code) must NOT be retried: exactly
+         one request hits the server no matter how many attempts the
+         policy allows *)
+      (match Serve.Client.predict_with_retry addr bad with
+       | Ok _ -> Alcotest.fail "wrong-width batch accepted"
+       | Error _ -> ());
+      let r1 = stat_int c "requests" in
+      (* r0's stats read was already counted; since then: the one bad
+         predict and the r1 stats read itself *)
+      Alcotest.(check int) "semantic error sent once" (r0 + 2) r1;
+      (* a good batch through the retry path predicts normally *)
+      (match Serve.Client.predict_with_retry addr clean with
+       | Ok _ -> ()
+       | Error m -> Alcotest.failf "retry predict failed: %s" m);
+      (* transport errors ARE retried: a dead address costs the backoff
+         schedule and comes back as Error, not an exception *)
+      let retry =
+        { Serve.Client.attempts = 3; base_delay = 0.02; max_delay = 0.1;
+          connect_timeout = 0.5; deadline = 0.5 }
+      in
+      let dead = Serve.Unix_sock (sock_path addr ^ ".nowhere") in
+      let t0 = Unix.gettimeofday () in
+      (match
+         Serve.Client.request_with_retry ~retry dead
+           (Serve.Wire.Obj [ ("op", Serve.Wire.String "ping") ])
+       with
+       | Ok _ -> Alcotest.fail "request to a dead socket succeeded"
+       | Error _ -> ());
+      Alcotest.(check bool) "backoff slept between attempts" true
+        (Unix.gettimeofday () -. t0 >= 0.03))
+
 let suites =
   [
     ( "serve",
@@ -255,5 +526,14 @@ let suites =
         Alcotest.test_case "malformed lines poison only themselves" `Quick
           test_malformed_line_isolated;
         Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        Alcotest.test_case "framer edge cases" `Quick test_framer_edges;
+        Alcotest.test_case "framing edge cases over the socket" `Quick
+          test_framing_over_socket;
+        Alcotest.test_case "overload shedding" `Quick test_shed_overloaded;
+        Alcotest.test_case "deadline expiry answers and closes" `Quick
+          test_deadline_exceeded;
+        Alcotest.test_case "idle connections reaped" `Quick test_idle_reaped;
+        Alcotest.test_case "SIGHUP hot reload" `Quick test_sighup_reload;
+        Alcotest.test_case "retry policy semantics" `Quick test_retry_semantics;
       ] );
   ]

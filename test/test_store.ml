@@ -126,6 +126,58 @@ let test_trailing_garbage () =
     | e -> Alcotest.failf "expected Corrupt_artifact, got %s" (Core.Errors.to_string e))
 
 (* ------------------------------------------------------------------ *)
+(* Crash safety *)
+
+(* [Store.save] writes a temp file, fsyncs, and renames. Children are
+   SIGKILLed at assorted points mid-save; the destination must always
+   hold a loadable artifact — the old one or the new one, never a torn
+   hybrid. *)
+let test_kill_mid_write () =
+  let v1 = Lazy.force fixture in
+  let v2 = Option.get (make_artifact 12) in
+  let path = Filename.temp_file "pathsel-kill" ".psa" in
+  (match Store.save path v1 with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "seed save failed: %s" (Core.Errors.to_string e));
+  (* OCaml < 5.2 forbids fork once other domains exist, and in the
+     full multi-suite run the par suites have already spawned the
+     pool. The standalone store run (what @smoke invokes) still
+     exercises the kill loop. *)
+  let fork_or_skip () =
+    try Unix.fork () with Failure _ -> Sys.remove path; Alcotest.skip ()
+  in
+  for i = 0 to 19 do
+    (match fork_or_skip () with
+     | 0 ->
+       ignore (Store.save path v2);
+       Unix._exit 0
+     | pid ->
+       (* stagger the kill so it lands before, during, and after the
+          child's write across iterations *)
+       let delay = float_of_int (i mod 7) *. 0.0004 in
+       if delay > 0.0 then Unix.sleepf delay;
+       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       ignore (Unix.waitpid [] pid));
+    match Store.load path with
+    | Error e ->
+      Alcotest.failf "iteration %d: torn artifact: %s" i
+        (Core.Errors.to_string e)
+    | Ok t ->
+      if not (Store.equal t v1 || Store.equal t v2) then
+        Alcotest.failf "iteration %d: artifact is neither old nor new" i
+  done;
+  (* reap temp files the killed children left behind *)
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".tmp." in
+  Array.iter
+    (fun f ->
+      if String.length f >= String.length prefix
+         && String.sub f 0 (String.length prefix) = prefix
+      then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_roundtrip =
@@ -166,6 +218,8 @@ let suites =
         Alcotest.test_case "truncation" `Quick test_truncated;
         Alcotest.test_case "payload bit flip" `Quick test_payload_bit_flip;
         Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+        Alcotest.test_case "kill mid-write leaves old or new, never torn"
+          `Quick test_kill_mid_write;
         QCheck_alcotest.to_alcotest prop_roundtrip;
         QCheck_alcotest.to_alcotest prop_any_byte_flip_rejected;
       ] );

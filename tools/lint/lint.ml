@@ -29,6 +29,10 @@ type config = {
   raw_domain_dirs : string list;  (* dirs where Domain.spawn/join are allowed *)
   catchall_allowlist : string list;  (* files where [try _ with _ ->] is allowed *)
   rng_dirs : string list;  (* dirs allowed to touch Random/Rng internals *)
+  io_checked_dirs : string list;
+      (* dirs where raw blocking Unix I/O is banned (serving code) *)
+  io_wrapper_files : string list;
+      (* the timeout-wrapped helpers themselves: the only raw-I/O homes *)
 }
 
 let default_config =
@@ -37,6 +41,8 @@ let default_config =
     raw_domain_dirs = [ "lib/par/" ];
     catchall_allowlist = [ "lib/core/errors.ml" ];
     rng_dirs = [ "lib/rng/" ];
+    io_checked_dirs = [ "lib/serve/"; "lib/chaos/" ];
+    io_wrapper_files = [ "lib/serve/io.ml" ];
   }
 
 let rules =
@@ -62,6 +68,9 @@ let rules =
     ( "mutable-global-in-par",
       Warning,
       "top-level ref referenced inside a Pool.parallel_for/parallel_chunks body" );
+    ( "no-unbounded-io",
+      Error,
+      "raw Unix.read/write/connect in serving code (use the Serve.Io wrappers)" );
   ]
 
 let severity_of_rule r =
@@ -300,6 +309,18 @@ let check_expr ctx (e : expression) =
             && not (is_any ctx.path ctx.cfg.unsafe_allowlist) ->
        emit ctx "unsafe-array" e.pexp_loc
          "Bigarray unsafe access outside the kernel allowlist"
+     | Some
+         [ "Unix";
+           (("read" | "write" | "write_substring" | "single_write" | "connect")
+            as fn) ]
+       when in_any ctx.path ctx.cfg.io_checked_dirs
+            && not (is_any ctx.path ctx.cfg.io_wrapper_files) ->
+       emit ctx "no-unbounded-io" e.pexp_loc
+         (Printf.sprintf
+            "raw Unix.%s in serving code can block forever on a slow or dead \
+             peer; call the deadline-carrying wrappers in Serve.Io (the only \
+             allowlisted home for raw socket I/O)"
+            fn)
      | Some [ ("exit" | "failwith") as fn ] when in_lib ctx ->
        emit ctx "no-exit" e.pexp_loc
          (Printf.sprintf

@@ -1,8 +1,8 @@
 (** Project-specific static analysis over OCaml sources (untyped AST).
 
-    Seven rules guard the invariants the parallel numeric core depends
-    on; see {!rules} for the list and {!default_config} for the
-    allowlists. A comment [(* lint: allow rule-a rule-b *)] anywhere in
+    Eight rules guard the invariants the parallel numeric core and the
+    serving layer depend on; see {!rules} for the list and
+    {!default_config} for the allowlists. A comment [(* lint: allow rule-a rule-b *)] anywhere in
     a file suppresses those rules for that file. *)
 
 type severity = Error | Warning
@@ -21,6 +21,10 @@ type config = {
   raw_domain_dirs : string list;
   catchall_allowlist : string list;
   rng_dirs : string list;
+  io_checked_dirs : string list;
+      (** directories where raw blocking Unix I/O is banned *)
+  io_wrapper_files : string list;
+      (** the timeout-wrapped helpers: the only raw-I/O homes *)
 }
 
 val default_config : config
