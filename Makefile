@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke chaos-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 doc clean
+.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 doc clean
 
 all: build
 
@@ -50,6 +50,12 @@ bench-e15:
 bench-e16:
 	dune exec bench/main.exe -- e16
 
+# E17 self-healing soak: mid-stream process shift against a monitored
+# server -- drift detection, incremental refit, automatic background
+# re-selection; emits BENCH_e17.json in the repo root.
+bench-e17:
+	dune exec bench/main.exe -- e17
+
 # Scaled-down E15 as a CI gate (< 30s): fails if any parallel kernel is
 # not bit-identical to serial, or (on hosts with >= 2 cores) if the
 # 4-domain matmul speedup falls below 2x. Single-core hosts check
@@ -62,6 +68,13 @@ perf-smoke:
 # hot reload, unbounded clean-lane latency).
 chaos-smoke:
 	dune exec bench/main.exe -- --chaos-smoke
+
+# Short-duration E17 as a CI gate: fails if the drift detector misses
+# the injected process shift, the automatic re-selection does not
+# recover accuracy within the 1.2x gate, any answer goes wrong, or the
+# server dies.
+drift-smoke:
+	dune exec bench/main.exe -- --drift-smoke
 
 doc:
 	dune build @doc

@@ -184,12 +184,16 @@ let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
     ( "e16",
       "E16 -- chaos soak: serving invariants under wire-level faults",
       fun p -> ignore (Experiments.Chaos_exp.run ~out:"BENCH_e16.json" p) );
+    ( "e17",
+      "E17 -- self-healing soak: drift detection and auto re-selection",
+      fun p -> ignore (Experiments.Drift_exp.run ~out:"BENCH_e17.json" p) );
     ("micro", "micro-benchmarks", fun _ -> run_micro ());
   ]
 
 let usage () =
   Printf.printf
-    "usage: main.exe [%s|all] [--full] [--smoke] [--chaos-smoke] [--domains N]\n"
+    "usage: main.exe [%s|all] [--full] [--smoke] [--chaos-smoke] \
+     [--drift-smoke] [--domains N]\n"
     (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
   exit 1
 
@@ -198,9 +202,12 @@ let () =
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in
   let chaos_smoke = List.mem "--chaos-smoke" args in
+  let drift_smoke = List.mem "--drift-smoke" args in
   let args =
     List.filter
-      (fun a -> a <> "--full" && a <> "--smoke" && a <> "--chaos-smoke")
+      (fun a ->
+        a <> "--full" && a <> "--smoke" && a <> "--chaos-smoke"
+        && a <> "--drift-smoke")
       args
   in
   let args =
@@ -228,6 +235,13 @@ let () =
   if chaos_smoke then begin
     let r = Experiments.Chaos_exp.run profile in
     exit (if r.Experiments.Chaos_exp.ok then 0 else 1)
+  end;
+  (* [--drift-smoke] is the CI gate for the self-healing loop: a short
+     E17 soak — drift must be detected, the background re-selection
+     must recover accuracy, and no request may go wrong *)
+  if drift_smoke then begin
+    let r = Experiments.Drift_exp.run profile in
+    exit (if r.Experiments.Drift_exp.ok then 0 else 1)
   end;
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;

@@ -553,14 +553,67 @@ let serve_cmd =
              ~doc:"Fork the server, ping it over the socket, shut it down, and exit; \
                    a CI-able one-shot liveness probe.")
   in
+  let monitor =
+    Arg.(value & flag
+         & info [ "monitor" ]
+             ~doc:"Arm the self-healing loop: CUSUM drift detection on \
+                   $(b,observe) streams, incremental refit, and automatic \
+                   background re-selection (written back to the artifact \
+                   path and hot-swapped).")
+  in
+  let drift_warn =
+    Arg.(value & opt float Serve.Monitor.default_config.Serve.Monitor.drift.Stats.Drift.warn
+         & info [ "drift-warn" ] ~docv:"SIGMAS"
+             ~doc:"CUSUM statistic at which the monitor reports \
+                   $(b,warning).")
+  in
+  let drift_threshold =
+    Arg.(value & opt float Serve.Monitor.default_config.Serve.Monitor.drift.Stats.Drift.drift
+         & info [ "drift-threshold" ] ~docv:"SIGMAS"
+             ~doc:"CUSUM statistic at which the monitor reports \
+                   $(b,drifted) and re-selection arms.")
+  in
+  let calibrate =
+    Arg.(value & opt int Serve.Monitor.default_config.Serve.Monitor.calibrate
+         & info [ "calibrate" ] ~docv:"DIES"
+             ~doc:"Healthy dies used to calibrate the residual reference \
+                   before drift monitoring starts.")
+  in
+  let min_dies =
+    Arg.(value & opt int Serve.Monitor.default_config.Serve.Monitor.min_dies
+         & info [ "min-dies" ] ~docv:"DIES"
+             ~doc:"Recent fully measured dies required before an automatic \
+                   re-selection may run.")
+  in
+  let reselect_cooldown =
+    Arg.(value & opt float Serve.Monitor.default_config.Serve.Monitor.cooldown
+         & info [ "reselect-cooldown" ] ~docv:"SECONDS"
+             ~doc:"Minimum wall-clock spacing between re-selection attempts \
+                   (failures back off exponentially from here).")
+  in
   let run () path socket port max_batch workers queue deadline idle_timeout
-      max_line self_check =
+      max_line self_check monitor drift_warn drift_threshold calibrate min_dies
+      reselect_cooldown =
    handle @@ fun () ->
     let artifact =
       match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
     in
+    let monitor_config =
+      if not monitor then None
+      else
+        Some
+          { Serve.Monitor.default_config with
+            Serve.Monitor.calibrate;
+            min_dies;
+            cooldown = reselect_cooldown;
+            drift =
+              { Stats.Drift.default_config with
+                Stats.Drift.warn = drift_warn;
+                drift = drift_threshold } }
+    in
     let config =
-      { Serve.max_batch; workers; queue; deadline; idle_timeout; max_line }
+      { Serve.max_batch; workers; queue; deadline; idle_timeout; max_line;
+        monitor = monitor_config }
     in
     let addr = address ~socket ~port in
     if self_check then begin
@@ -602,23 +655,35 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve batched die-delay predictions from a saved artifact over a \
              Unix-domain or TCP socket (newline-delimited JSON). SIGHUP \
-             hot-reloads the artifact; SIGINT/SIGTERM drain and exit.")
+             hot-reloads the artifact; SIGINT/SIGTERM drain and exit. With \
+             $(b,--monitor), observe streams feed drift detection and \
+             automatic background re-selection.")
     Term.(const run $ runtime_arg $ artifact_pos $ socket_arg $ port_arg $ max_batch
-          $ workers $ queue $ deadline $ idle_timeout $ max_line $ self_check)
+          $ workers $ queue $ deadline $ idle_timeout $ max_line $ self_check
+          $ monitor $ drift_warn $ drift_threshold $ calibrate $ min_dies
+          $ reselect_cooldown)
 
 let client_cmd =
   let op =
     Arg.(required & pos 0 (some (enum
            [ ("ping", `Ping); ("stats", `Stats); ("shutdown", `Shutdown);
-             ("predict", `Predict) ])) None
-         & info [] ~docv:"OP" ~doc:"One of ping, stats, shutdown, predict.")
+             ("predict", `Predict); ("observe", `Observe) ])) None
+         & info [] ~docv:"OP"
+             ~doc:"One of ping, stats, shutdown, predict, observe.")
   in
   let data =
     Arg.(value & opt (some string) None
          & info [ "data" ] ~docv:"FILE"
-             ~doc:"Measured representative delays for $(b,predict): one die per \
-                   line, comma- or space-separated; empty, $(b,nan) or \
-                   $(b,null) marks a missing entry. $(b,-) reads stdin.")
+             ~doc:"Measured representative delays for $(b,predict) / \
+                   $(b,observe): one die per line, comma- or space-separated; \
+                   empty, $(b,nan) or $(b,null) marks a missing entry. \
+                   $(b,-) reads stdin.")
+  in
+  let truth =
+    Arg.(value & opt (some string) None
+         & info [ "truth" ] ~docv:"FILE"
+             ~doc:"Ground-truth remaining-path delays for $(b,observe), same \
+                   per-die row format as --data.")
   in
   let robust =
     Arg.(value & flag
@@ -675,7 +740,7 @@ let client_cmd =
          & info [ "timeout" ] ~docv:"SECONDS"
              ~doc:"Per-attempt request wall-clock budget.")
   in
-  let run op socket port data robust retries timeout =
+  let run op socket port data truth robust retries timeout =
    handle @@ fun () ->
     let addr = address ~socket ~port in
     let print_response = function
@@ -683,7 +748,34 @@ let client_cmd =
       | Error msg ->
         Core.Errors.raise_error (Core.Errors.Io { file = "<server>"; msg })
     in
+    let op_name =
+      match op with
+      | `Predict -> "predict"
+      | `Observe -> "observe"
+      | `Ping -> "ping"
+      | `Stats -> "stats"
+      | `Shutdown -> "shutdown"
+    in
+    let read_text flag = function
+      | None ->
+        Core.Errors.raise_error
+          (Core.Errors.Invalid_input (Printf.sprintf "%s needs %s FILE" op_name flag))
+      | Some "-" -> In_channel.input_all stdin
+      | Some path ->
+        (try In_channel.with_open_text path In_channel.input_all
+         with Sys_error msg ->
+           Core.Errors.raise_error (Core.Errors.Io { file = path; msg }))
+    in
     match op with
+    | `Observe ->
+      let measured = parse_batch (read_text "--data" data) in
+      let truth = parse_batch (read_text "--truth" truth) in
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      (match Serve.Client.observe ~deadline:timeout c ~measured ~truth with
+       | Ok resp -> print_endline (Serve.Wire.print resp)
+       | Error msg ->
+         Core.Errors.raise_error (Core.Errors.Bad_data ("server: " ^ msg)))
     | `Predict ->
       let text =
         match data with
@@ -725,8 +817,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Talk to a running $(b,pathsel serve): ping, stats, shutdown, or a \
              batched prediction request with bounded retries.")
-    Term.(const run $ op $ socket_arg $ port_arg $ data $ robust $ retries
-          $ timeout)
+    Term.(const run $ op $ socket_arg $ port_arg $ data $ truth $ robust
+          $ retries $ timeout)
 
 let chaos_cmd =
   let upstream_socket =

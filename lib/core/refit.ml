@@ -1,0 +1,124 @@
+open Linalg
+
+type t = {
+  r : int;
+  m : int;
+  d : int; (* augmented dimension r + 1 (intercept) *)
+  resync_every : int;
+  g : Mat.t; (* d x d, exact: ridge I + sum x' x'^T *)
+  c : Mat.t; (* d x m, exact: sum x' y^T *)
+  mutable l : Mat.t; (* lower Cholesky of g, rank-1 maintained *)
+  mutable count : int;
+  mutable skipped : int;
+  mutable since_resync : int;
+  mutable resyncs : int;
+}
+
+let create ?(ridge = 1e-3) ?(resync_every = 64) ~r ~m () =
+  if r < 1 then invalid_arg "Refit.create: r must be >= 1";
+  if m < 1 then invalid_arg "Refit.create: m must be >= 1";
+  if not (Float.is_finite ridge && ridge > 0.0) then
+    invalid_arg "Refit.create: ridge must be positive";
+  if resync_every < 0 then
+    invalid_arg "Refit.create: resync_every must be >= 0";
+  let d = r + 1 in
+  let g = Mat.init d d (fun i j -> if i = j then ridge else 0.0) in
+  let sr = sqrt ridge in
+  let l = Mat.init d d (fun i j -> if i = j then sr else 0.0) in
+  {
+    r;
+    m;
+    d;
+    resync_every;
+    g;
+    c = Mat.create d m;
+    l;
+    count = 0;
+    skipped = 0;
+    since_resync = 0;
+    resyncs = 0;
+  }
+
+let r t = t.r
+let m t = t.m
+let count t = t.count
+let skipped t = t.skipped
+let resyncs t = t.resyncs
+
+(* Rank-1 Cholesky update: L <- chol(L L^T + v v^T). Destroys [v]. *)
+let cholesky_update l v =
+  let n = Array.length v in
+  for k = 0 to n - 1 do
+    let lkk = Mat.get l k k in
+    let vk = v.(k) in
+    let rho = Float.hypot lkk vk in
+    let co = rho /. lkk in
+    let si = vk /. lkk in
+    Mat.set l k k rho;
+    for i = k + 1 to n - 1 do
+      let lik = (Mat.get l i k +. (si *. v.(i))) /. co in
+      Mat.set l i k lik;
+      v.(i) <- (co *. v.(i)) -. (si *. lik)
+    done
+  done
+
+let resync t =
+  t.l <- Cholesky.factor t.g;
+  t.since_resync <- 0;
+  t.resyncs <- t.resyncs + 1
+
+let all_finite v =
+  let ok = ref true in
+  Array.iter (fun x -> if not (Float.is_finite x) then ok := false) v;
+  !ok
+
+let observe t ~measured ~truth =
+  if Array.length measured <> t.r then
+    invalid_arg "Refit.observe: measured length mismatch";
+  if Array.length truth <> t.m then
+    invalid_arg "Refit.observe: truth length mismatch";
+  if not (all_finite measured && all_finite truth) then begin
+    t.skipped <- t.skipped + 1;
+    false
+  end
+  else begin
+    let x = Array.make t.d 1.0 in
+    Array.blit measured 0 x 1 t.r;
+    (* Exact moments first, then the maintained factor. *)
+    for i = 0 to t.d - 1 do
+      for j = 0 to t.d - 1 do
+        Mat.set t.g i j (Mat.get t.g i j +. (x.(i) *. x.(j)))
+      done;
+      for j = 0 to t.m - 1 do
+        Mat.set t.c i j (Mat.get t.c i j +. (x.(i) *. truth.(j)))
+      done
+    done;
+    cholesky_update t.l x;
+    t.count <- t.count + 1;
+    t.since_resync <- t.since_resync + 1;
+    if t.resync_every > 0 && t.since_resync >= t.resync_every then resync t;
+    true
+  end
+
+let solve_with t l =
+  let cols =
+    Array.init t.m (fun j -> Cholesky.solve l (Mat.col t.c j))
+  in
+  Mat.init t.d t.m (fun i j -> cols.(j).(i))
+
+let coefficients t = solve_with t t.l
+let batch_coefficients t = solve_with t (Cholesky.factor t.g)
+
+let predict ~coefficients ~measured =
+  let k, r = Mat.dims measured in
+  let d, _ = Mat.dims coefficients in
+  if d <> r + 1 then
+    invalid_arg "Refit.predict: coefficient rows must be measured cols + 1";
+  let xa =
+    Mat.init k d (fun i j -> if j = 0 then 1.0 else Mat.get measured i (j - 1))
+  in
+  Mat.mul xa coefficients
+
+let drift t =
+  let err = Mat.frobenius (Mat.sub (Mat.mul_nt t.l t.l) t.g) in
+  err /. Float.max (Mat.frobenius t.g) 1e-300

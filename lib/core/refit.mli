@@ -1,0 +1,80 @@
+(** Incremental least-squares refit of the post-silicon predictor.
+
+    The Theorem-2 predictor maps measured representative-path delays to
+    the remaining paths through a fixed linear operator derived from the
+    pre-silicon variation model. Once real dies stream in, the same
+    operator can be re-estimated empirically: regress remaining-path
+    delays [y] (length [m]) on measured delays [x] (length [r]) with an
+    intercept, over the dies observed so far.
+
+    This module maintains that regression online. Per accepted die it
+    performs O((r+1)^2 + (r+1) m) work: the augmented Gram matrix
+    [G = lambda I + sum x' x'^T] (with [x' = [1; x]]) is accumulated
+    exactly, its Cholesky factor is maintained by a rank-1 update, and
+    the cross-moment block [C = sum x' y^T] is accumulated. Coefficients
+    come from two triangular solves per output column — no O((r+1)^3)
+    refactorization on the hot path.
+
+    Rank-1 updates accumulate rounding error, so every [resync_every]
+    accepted dies the factor is recomputed exactly from the accumulated
+    Gram ([resync]); {!drift} measures the current factor error.
+    {!coefficients} (incremental) and {!batch_coefficients} (fresh
+    factorization of the same moments) agree to numerical tolerance —
+    property-tested in [test/test_refit.ml]. *)
+
+type t
+
+val create : ?ridge:float -> ?resync_every:int -> r:int -> m:int -> unit -> t
+(** [create ~r ~m ()] starts an empty refit state for [r] measured
+    inputs and [m] predicted outputs. [ridge] (default [1e-3], absolute,
+    in squared delay units) keeps the Gram positive definite before
+    [r + 1] dies have arrived; it is never removed, but is negligible
+    against accumulated moments within a handful of dies.
+    [resync_every] (default [64]) is the accepted-die period of the
+    exact refactorization; [0] disables automatic resync.
+    Raises [Invalid_argument] on [r < 1], [m < 1], a non-positive
+    [ridge], or a negative [resync_every]. *)
+
+val r : t -> int
+val m : t -> int
+
+val observe : t -> measured:Linalg.Vec.t -> truth:Linalg.Vec.t -> bool
+(** Fold one die into the moments ([measured] has length [r], [truth]
+    length [m]; raises [Invalid_argument] otherwise). Returns [false]
+    — and leaves the state untouched — when any entry is non-finite
+    (faulty dies screened upstream should never reach this far, but the
+    moments must not be poisoned if one does). Triggers an automatic
+    {!resync} when the period elapses. *)
+
+val count : t -> int
+(** Accepted dies. *)
+
+val skipped : t -> int
+(** Dies rejected for non-finite entries. *)
+
+val coefficients : t -> Linalg.Mat.t
+(** The [(r+1) x m] coefficient matrix [B] solving
+    [(lambda I + sum x' x'^T) B = sum x' y^T] via the incrementally
+    maintained factor: row 0 is the intercept, rows 1..r the weights.
+    Well-defined (all zeros) before any die has been accepted. *)
+
+val batch_coefficients : t -> Linalg.Mat.t
+(** Same system solved through a fresh Cholesky factorization of the
+    exactly accumulated Gram — the cold-refit answer the incremental
+    path must match. *)
+
+val predict : coefficients:Linalg.Mat.t -> measured:Linalg.Mat.t -> Linalg.Mat.t
+(** [predict ~coefficients ~measured] applies a coefficient matrix from
+    {!coefficients} to a [k x r] batch of measured dies, returning
+    [k x m] predictions. *)
+
+val resync : t -> unit
+(** Refactorize the maintained Cholesky factor exactly from the
+    accumulated Gram, zeroing accumulated rank-1 rounding error. *)
+
+val resyncs : t -> int
+(** Automatic plus explicit resyncs performed. *)
+
+val drift : t -> float
+(** Frobenius norm of [L L^T - G] relative to the Frobenius norm of
+    [G] — the numerical error the next {!resync} will cancel. *)

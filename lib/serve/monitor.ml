@@ -1,0 +1,314 @@
+(* Single-writer state machine: everything below the Atomics is touched
+   only by the monitor thread ([step]/[swapped]); workers talk to it
+   exclusively through [submit] (CAS push) and [read]/[coefficients]
+   (snapshot gets). Nothing here may block — see the
+   no-blocking-in-monitor lint rule. *)
+
+type config = {
+  calibrate : int;
+  drift : Stats.Drift.config;
+  min_dies : int;
+  buffer : int;
+  refit_min : int;
+  refit_ridge : float;
+  refit_resync_every : int;
+  cooldown : float;
+  max_backoff : float;
+  pending_cap : int;
+}
+
+let default_config =
+  {
+    calibrate = 32;
+    drift = Stats.Drift.default_config;
+    min_dies = 64;
+    buffer = 256;
+    refit_min = 16;
+    refit_ridge = 1e-3;
+    refit_resync_every = 64;
+    cooldown = 5.0;
+    max_backoff = 60.0;
+    pending_cap = 4096;
+  }
+
+type obs = {
+  measured : float array;
+  truth : float array;
+  full : float array;
+  resid : float;
+}
+
+type report = {
+  observed : int;
+  skipped : int;
+  dropped : int;
+  calibrating : bool;
+  state : Stats.Drift.state;
+  cusum : float;
+  var_ratio : float;
+  quarantined : bool;
+  monitor_errors : int;
+  refit_dies : int;
+  refit_resyncs : int;
+  reselects : int;
+  reselect_failures : int;
+  last_reselect_ms : float;
+  backoff_s : float;
+  last_error : string;
+}
+
+let initial_report =
+  {
+    observed = 0;
+    skipped = 0;
+    dropped = 0;
+    calibrating = true;
+    state = Stats.Drift.Healthy;
+    cusum = 0.0;
+    var_ratio = Float.nan;
+    quarantined = false;
+    monitor_errors = 0;
+    refit_dies = 0;
+    refit_resyncs = 0;
+    reselects = 0;
+    reselect_failures = 0;
+    last_reselect_ms = Float.nan;
+    backoff_s = 0.0;
+    last_error = "";
+  }
+
+type t = {
+  cfg : config;
+  n_paths : int;
+  reselect : Linalg.Mat.t -> (int * int * float, string) result;
+  (* worker-facing *)
+  pending : obs list Atomic.t;
+  pending_n : int Atomic.t;
+  dropped : int Atomic.t;
+  published : report Atomic.t;
+  coeffs : (Linalg.Mat.t * int) option Atomic.t;
+  (* monitor-thread state *)
+  mutable r : int;
+  mutable m : int;
+  mutable detector : Stats.Drift.t option;
+  calib : float array; (* first healthy residuals, for the reference *)
+  mutable calib_n : int;
+  mutable refit : Core.Refit.t;
+  ring : float array array; (* recent full dies, circular *)
+  mutable ring_n : int; (* total dies ever accepted into the ring *)
+  mutable observed : int;
+  mutable skipped : int;
+  mutable errors : int;
+  mutable reselects : int;
+  mutable reselect_failures : int;
+  mutable last_reselect_ms : float;
+  mutable backoff : float;
+  mutable next_attempt : float;
+  mutable last_error : string;
+}
+
+let check_config cfg =
+  if cfg.calibrate < 2 then invalid_arg "Monitor: calibrate < 2";
+  if cfg.min_dies < 1 then invalid_arg "Monitor: min_dies < 1";
+  if cfg.buffer < cfg.min_dies then invalid_arg "Monitor: buffer < min_dies";
+  if cfg.refit_min < 1 then invalid_arg "Monitor: refit_min < 1";
+  if not (cfg.cooldown > 0.0) then invalid_arg "Monitor: cooldown must be > 0";
+  if cfg.max_backoff < cfg.cooldown then
+    invalid_arg "Monitor: max_backoff < cooldown";
+  if cfg.pending_cap < 1 then invalid_arg "Monitor: pending_cap < 1"
+
+let create ?(config = default_config) ~n_paths ~r ~m ~reselect () =
+  check_config config;
+  if r < 1 || m < 1 || r + m <> n_paths then
+    invalid_arg "Monitor.create: need r >= 1, m >= 1, r + m = n_paths";
+  {
+    cfg = config;
+    n_paths;
+    reselect;
+    pending = Atomic.make [];
+    pending_n = Atomic.make 0;
+    dropped = Atomic.make 0;
+    published = Atomic.make initial_report;
+    coeffs = Atomic.make None;
+    r;
+    m;
+    detector = None;
+    calib = Array.make config.calibrate 0.0;
+    calib_n = 0;
+    refit =
+      Core.Refit.create ~ridge:config.refit_ridge
+        ~resync_every:config.refit_resync_every ~r ~m ();
+    ring = Array.make config.buffer [||];
+    ring_n = 0;
+    observed = 0;
+    skipped = 0;
+    errors = 0;
+    reselects = 0;
+    reselect_failures = 0;
+    last_reselect_ms = Float.nan;
+    backoff = 0.0;
+    next_attempt = 0.0;
+    last_error = "";
+  }
+
+let n_paths t = t.n_paths
+
+let submit t o =
+  if Atomic.get t.pending_n >= t.cfg.pending_cap then Atomic.incr t.dropped
+  else begin
+    Atomic.incr t.pending_n;
+    let rec push () =
+      let cur = Atomic.get t.pending in
+      if not (Atomic.compare_and_set t.pending cur (o :: cur)) then push ()
+    in
+    push ()
+  end
+
+let read t = Atomic.get t.published
+let coefficients t = Atomic.get t.coeffs
+
+let publish t =
+  let detector_fields =
+    match t.detector with
+    | None -> (true, Stats.Drift.Healthy, 0.0, Float.nan, false)
+    | Some d ->
+      ( false,
+        Stats.Drift.state d,
+        Stats.Drift.cusum d,
+        (match Stats.Drift.variance_ratio d with
+         | Some v -> v
+         | None -> Float.nan),
+        Stats.Drift.quarantined d )
+  in
+  let calibrating, state, cusum, var_ratio, quarantined = detector_fields in
+  Atomic.set t.published
+    {
+      observed = t.observed;
+      skipped = t.skipped;
+      dropped = Atomic.get t.dropped;
+      calibrating;
+      state;
+      cusum;
+      var_ratio;
+      quarantined;
+      monitor_errors = t.errors;
+      refit_dies = Core.Refit.count t.refit;
+      refit_resyncs = Core.Refit.resyncs t.refit;
+      reselects = t.reselects;
+      reselect_failures = t.reselect_failures;
+      last_reselect_ms = t.last_reselect_ms;
+      backoff_s = t.backoff;
+      last_error = t.last_error;
+    }
+
+(* Restart detector + refit against a fresh artifact split; the ring of
+   full dies is artifact-independent and survives. *)
+let restart t ~r ~m =
+  if r < 1 || m < 1 || r + m <> t.n_paths then
+    invalid_arg "Monitor: swapped artifact has an incompatible path split";
+  t.r <- r;
+  t.m <- m;
+  t.detector <- None;
+  t.calib_n <- 0;
+  t.refit <-
+    Core.Refit.create ~ridge:t.cfg.refit_ridge
+      ~resync_every:t.cfg.refit_resync_every ~r ~m ();
+  Atomic.set t.coeffs None;
+  t.backoff <- 0.0;
+  t.next_attempt <- 0.0
+
+let swapped t ~r ~m =
+  restart t ~r ~m;
+  publish t
+
+let feed_detector t resid =
+  match t.detector with
+  | Some d -> ignore (Stats.Drift.observe d resid)
+  | None ->
+    (* calibration: only finite residuals shape the reference *)
+    if Float.is_finite resid then begin
+      t.calib.(t.calib_n) <- resid;
+      t.calib_n <- t.calib_n + 1;
+      if t.calib_n >= t.cfg.calibrate then begin
+        let sample = Array.sub t.calib 0 t.calib_n in
+        t.detector <-
+          Some
+            (Stats.Drift.create ~config:t.cfg.drift
+               ~mean:(Stats.Descriptive.mean sample)
+               ~sigma:(Stats.Descriptive.stddev sample) ())
+      end
+    end
+
+let ingest t o =
+  if
+    Array.length o.measured <> t.r
+    || Array.length o.truth <> t.m
+    || Array.length o.full <> t.n_paths
+  then t.skipped <- t.skipped + 1
+  else begin
+    match Core.Refit.observe t.refit ~measured:o.measured ~truth:o.truth with
+    | false ->
+      (* non-finite die: the refit moments stay clean; the residual
+         still goes to the detector, whose quarantine logic owns
+         pathological input *)
+      t.skipped <- t.skipped + 1;
+      feed_detector t o.resid
+    | true ->
+      t.observed <- t.observed + 1;
+      t.ring.(t.ring_n mod t.cfg.buffer) <- Array.copy o.full;
+      t.ring_n <- t.ring_n + 1;
+      feed_detector t o.resid
+    | exception Invalid_argument _ ->
+      (* the fail-safe: a malformed observation is dropped and counted;
+         it must never take the monitor (let alone the server) down *)
+      t.errors <- t.errors + 1
+  end
+
+let recent_dies t =
+  let k = Int.min t.ring_n t.cfg.buffer in
+  let base = t.ring_n - k in
+  Linalg.Mat.init k t.n_paths (fun i j ->
+      t.ring.((base + i) mod t.cfg.buffer).(j))
+
+let maybe_reselect t ~now =
+  let drifted =
+    match t.detector with
+    | Some d ->
+      (match Stats.Drift.state d with
+       | Stats.Drift.Drifted -> not (Stats.Drift.quarantined d)
+       | Stats.Drift.Healthy | Stats.Drift.Warning -> false)
+    | None -> false
+  in
+  if
+    drifted
+    && Int.min t.ring_n t.cfg.buffer >= t.cfg.min_dies
+    && now >= t.next_attempt
+  then begin
+    match t.reselect (recent_dies t) with
+    | Ok (r, m, ms) ->
+      t.reselects <- t.reselects + 1;
+      t.last_reselect_ms <- ms;
+      t.last_error <- "";
+      restart t ~r ~m;
+      t.next_attempt <- now +. t.cfg.cooldown
+    | Error msg ->
+      t.reselect_failures <- t.reselect_failures + 1;
+      t.last_error <- msg;
+      t.backoff <-
+        (if t.backoff > 0.0 then Float.min t.cfg.max_backoff (t.backoff *. 2.0)
+         else t.cfg.cooldown);
+      t.next_attempt <- now +. t.backoff
+  end
+
+let step t ~now =
+  let batch = List.rev (Atomic.exchange t.pending []) in
+  Atomic.set t.pending_n 0;
+  List.iter (fun o -> ingest t o) batch;
+  (match batch with
+   | [] -> ()
+   | _ :: _ ->
+     if Core.Refit.count t.refit >= t.cfg.refit_min then
+       Atomic.set t.coeffs
+         (Some (Core.Refit.coefficients t.refit, Core.Refit.count t.refit)));
+  maybe_reselect t ~now;
+  publish t

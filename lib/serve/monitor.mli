@@ -1,0 +1,134 @@
+(** The self-healing loop: drift monitoring, incremental refit, and
+    background re-selection.
+
+    Connection workers {!submit} observations — fully measured dies with
+    their prediction residual — through a lock-free queue; a single
+    monitor thread drains it with {!step}. Each step (1) calibrates a
+    {!Stats.Drift} detector from the first healthy residuals, then feeds
+    it; (2) folds the die into an incremental {!Core.Refit} regression
+    and publishes a coefficient snapshot; (3) keeps a ring of recent
+    full-die delay vectors; and (4) when the detector binds ([Drifted]),
+    invokes the [reselect] callback on the recent dies — off the hot
+    path — with a cooldown and exponential backoff on failure.
+
+    Locking discipline: this module must never block. Submission is a
+    compare-and-set push; every externally visible figure is published
+    as an immutable {!report} snapshot through an [Atomic]. The
+    [no-blocking-in-monitor] lint rule forbids [Mutex]/[Condition]/
+    [Thread.join] (and raw socket I/O, via [no-unbounded-io]) here, so
+    a stalled reselect can slow {e this} thread only — serving never
+    waits on the monitor. {!step} and {!swapped} must be called from a
+    single thread; {!submit} and {!read} are safe from any thread. *)
+
+type config = {
+  calibrate : int;
+      (** Healthy residuals used to estimate the detector's reference
+          mean/sigma before monitoring starts. Default [32]. *)
+  drift : Stats.Drift.config;  (** Detector thresholds. *)
+  min_dies : int;
+      (** Recent dies required before a re-selection may run.
+          Default [64]. *)
+  buffer : int;
+      (** Ring capacity of recent full-die vectors. Default [256]. *)
+  refit_min : int;
+      (** Accepted dies before refit coefficients are published.
+          Default [16]. *)
+  refit_ridge : float;  (** {!Core.Refit} ridge. Default [1e-3]. *)
+  refit_resync_every : int;
+      (** {!Core.Refit} exact-resync period. Default [64]. *)
+  cooldown : float;
+      (** Seconds between re-selection attempts (also the delay after a
+          success before the detector may trigger again). Default [5]. *)
+  max_backoff : float;
+      (** Failure backoff cap, seconds (doubles from [cooldown]).
+          Default [60]. *)
+  pending_cap : int;
+      (** Observations queued between steps before {!submit} drops
+          (counted, never blocking). Default [4096]. *)
+}
+
+val default_config : config
+
+(** One fully measured die, as seen by a connection worker. *)
+type obs = {
+  measured : float array;  (** representative-path delays, length [r] *)
+  truth : float array;  (** measured remaining-path delays, length [m] *)
+  full : float array;
+      (** all [n_paths] delays, scattered from [measured]/[truth] in
+          artifact path order — re-selection input *)
+  resid : float;
+      (** prediction residual for this die (mean over predicted paths),
+          computed against the snapshot that served it *)
+}
+
+(** Immutable stats snapshot, refreshed after every {!step}. *)
+type report = {
+  observed : int;  (** dies accepted into the stream *)
+  skipped : int;  (** dies rejected (shape mismatch / non-finite) *)
+  dropped : int;  (** submissions lost to a full queue *)
+  calibrating : bool;
+  state : Stats.Drift.state;
+  cusum : float;  (** 0 while calibrating *)
+  var_ratio : float;  (** [nan] until the window fills *)
+  quarantined : bool;
+  monitor_errors : int;  (** observations dropped by the fail-safe *)
+  refit_dies : int;
+  refit_resyncs : int;
+  reselects : int;  (** successful background re-selections *)
+  reselect_failures : int;
+  last_reselect_ms : float;  (** [nan] before the first success *)
+  backoff_s : float;  (** current failure backoff (0 = none pending) *)
+  last_error : string;  (** last re-selection failure ([""] if none) *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  n_paths:int ->
+  r:int ->
+  m:int ->
+  reselect:(Linalg.Mat.t -> (int * int * float, string) result) ->
+  unit ->
+  t
+(** [reselect recent] re-runs selection on a [dies x n_paths] matrix of
+    recent fully measured dies and swaps the resulting artifact in,
+    returning the new [(r, m)] split plus its own wall time in
+    milliseconds on success (the monitor deliberately keeps no clock)
+    — see [Serve]'s wiring, which routes it through [Store.save] and
+    the atomic-reload machinery. It runs on the monitor thread and must
+    not raise. Raises [Invalid_argument] on inconsistent dimensions or
+    a malformed config. *)
+
+val n_paths : t -> int
+(** The path-pool size the monitor was built for; artifacts swapped in
+    must keep it (the ring of full dies is indexed by it). *)
+
+val submit : t -> obs -> unit
+(** Lock-free enqueue; never blocks, drops (and counts) past
+    [pending_cap]. Safe from any thread. *)
+
+val step : t -> now:float -> unit
+(** Drain the queue, update detector/refit/ring, and trigger a
+    re-selection when drift binds and the cooldown/backoff allows.
+    [now] is the caller's wall clock (seconds); the monitor keeps no
+    clock of its own, which also makes backoff testable. Never raises:
+    pathological observations are counted in [monitor_errors] and the
+    detector can quarantine itself, but the serving path is never the
+    monitor's to break. *)
+
+val read : t -> report
+(** Latest published snapshot. Safe from any thread. *)
+
+val coefficients : t -> (Linalg.Mat.t * int) option
+(** Published refit coefficients (with the die count behind them), once
+    [refit_min] dies have been accepted. The matrix is an immutable
+    snapshot — apply it with {!Core.Refit.predict}. Safe from any
+    thread. *)
+
+val swapped : t -> r:int -> m:int -> unit
+(** Tell the monitor the serving artifact changed under it (SIGHUP
+    reload): reset the detector (to recalibrate against the new
+    model's residuals), restart the refit at the new [(r, m)] split,
+    and clear any pending backoff. The recent-die ring survives — full
+    die vectors are artifact-independent. *)

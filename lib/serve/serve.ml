@@ -1,5 +1,6 @@
 module Wire = Wire
 module Io = Io
+module Monitor = Monitor
 
 type address = Unix_sock of string | Tcp of int
 
@@ -29,6 +30,7 @@ type config = {
   queue : int;          (* accepted connections waiting for a worker *)
   deadline : float;     (* per-request wall-clock budget, seconds *)
   idle_timeout : float; (* silent-connection reap, seconds *)
+  monitor : Monitor.config option; (* arm the self-healing loop *)
 }
 
 let default_config =
@@ -39,6 +41,7 @@ let default_config =
     queue = 64;
     deadline = 10.0;
     idle_timeout = 60.0;
+    monitor = None;
   }
 
 (* I/O concurrency rides cheap systhreads sized from the compute pool:
@@ -76,12 +79,15 @@ type counters = {
 }
 
 (* everything a request needs from the artifact, swapped atomically on
-   reload: a request snapshots this once and finishes on its snapshot *)
+   reload: a request snapshots this once and finishes on its snapshot.
+   [gen] counts swaps, starting at 1, and rides every ok response so
+   clients can correlate predictions with the model that made them *)
 type hot = {
   artifact : Store.t;
   predictor : Core.Predictor.t;
   robust : Core.Robust.t;
   n_rep : int;
+  gen : int;
 }
 
 type t = {
@@ -93,9 +99,16 @@ type t = {
   counters : counters;
   cm : Mutex.t;  (* guards [counters]; workers update them concurrently *)
   started : float;
+  mutable mon : Monitor.t option;
+      (* written once at create, cleared (only) by the monitor thread if
+         an incompatible artifact is swapped in; handlers read it *)
+  mon_resync : bool Atomic.t;
+      (* an artifact swap happened: the monitor thread must re-anchor
+         its detector/refit before the next step (it alone may touch
+         monitor internals, so the swap path only raises this flag) *)
 }
 
-let hot_of_artifact artifact =
+let hot_of_artifact ?(gen = 1) artifact =
   (* restore once, up front: the dense weight matrix and the robust
      Gram/cross blocks are the precomputed factors every request reuses *)
   let predictor = Store.predictor artifact in
@@ -104,9 +117,10 @@ let hot_of_artifact artifact =
     predictor;
     robust = Store.robust artifact;
     n_rep = Array.length (Core.Predictor.rep_indices predictor);
+    gen;
   }
 
-let create ?(config = default_config) ?reload_from artifact =
+let create_raw ?(config = default_config) ?reload_from artifact =
   check_config config;
   {
     cfg = config;
@@ -130,6 +144,8 @@ let create ?(config = default_config) ?reload_from artifact =
       };
     cm = Mutex.create ();
     started = Unix.gettimeofday ();
+    mon = None;
+    mon_resync = Atomic.make false;
   }
 
 let stopping t = Atomic.get t.stop_flag
@@ -139,6 +155,143 @@ let tick t f =
   Mutex.lock t.cm;
   f t.counters;
   Mutex.unlock t.cm
+
+(* ------------------------------------------------------------------ *)
+(* Reload and background re-selection *)
+
+let do_reload t =
+  match t.reload_from with
+  | None -> Error "no reload path configured"
+  | Some path ->
+    (* load + CRC-verify off to the side; only a good artifact is
+       swapped in, and in-flight requests finish on their snapshot *)
+    (match Store.load path with
+     | Ok artifact ->
+       let gen = (Atomic.get t.hot).gen + 1 in
+       Atomic.set t.hot (hot_of_artifact ~gen artifact);
+       (* monitor internals belong to the monitor thread; the swap path
+          only raises a flag for it to re-anchor on its next step *)
+       Atomic.set t.mon_resync true;
+       tick t (fun c -> c.reloads <- c.reloads + 1);
+       Ok ()
+     | Error e ->
+       tick t (fun c -> c.reload_failures <- c.reload_failures + 1);
+       Error (Core.Errors.to_string e))
+
+(* strip a previous provenance suffix so fingerprints don't snowball
+   across repeated re-selections *)
+let fingerprint_base fp =
+  let marker = " [reselect" in
+  let lm = String.length marker in
+  let n = String.length fp in
+  let rec find i =
+    if i + lm > n then n
+    else if String.sub fp i lm = marker then i
+    else find (i + 1)
+  in
+  String.sub fp 0 (find 0)
+
+(* The monitor's reselect callback: rebuild the variation model
+   empirically from recent fully measured dies, re-run the paper's
+   selection at the artifact's stored eps/t_cons, persist crash-safely
+   with Store.save, and swap through the same CRC-verified reload path
+   SIGHUP uses. Runs on the monitor thread, off the hot path; any
+   failure leaves the old artifact serving. *)
+let reselect_from_recent t recent =
+  match t.reload_from with
+  | None ->
+    Error "auto-reselect needs a reload path (start the server with reload_from)"
+  | Some path ->
+    let t0 = Unix.gettimeofday () in
+    let n_dies, n_paths = Linalg.Mat.dims recent in
+    if n_dies < 2 then Error "too few recent dies to re-select from"
+    else begin
+      let hot = Atomic.get t.hot in
+      let art = hot.artifact in
+      match
+        Core.Errors.catch (fun () ->
+            (* empirical nominal + centered/scaled die samples as A:
+               the sample covariance of the recent dies is A A^T, which
+               is everything Select/Predictor/Robust consume *)
+            let mu =
+              Array.init n_paths (fun j ->
+                  let s = ref 0.0 in
+                  for i = 0 to n_dies - 1 do
+                    s := !s +. Linalg.Mat.get recent i j
+                  done;
+                  !s /. float_of_int n_dies)
+            in
+            let scale = 1.0 /. sqrt (float_of_int (n_dies - 1)) in
+            let a =
+              Linalg.Mat.init n_paths n_dies (fun j i ->
+                  (Linalg.Mat.get recent i j -. mu.(j)) *. scale)
+            in
+            let sel =
+              Core.Select.approximate ~a ~mu ~eps:art.Store.eps
+                ~t_cons:art.Store.t_cons ()
+            in
+            let fingerprint =
+              Printf.sprintf "%s [reselect gen=%d dies=%d]"
+                (fingerprint_base art.Store.fingerprint)
+                (hot.gen + 1) n_dies
+            in
+            Store.of_selection ~fingerprint ~kappa:art.Store.kappa
+              ~n_segments:art.Store.n_segments ~t_cons:art.Store.t_cons
+              ~eps:art.Store.eps ~a ~mu sel)
+      with
+      | Error e -> Error ("re-selection failed: " ^ Core.Errors.to_string e)
+      | Ok artifact' ->
+        (match Store.save path artifact' with
+         | Error e -> Error ("artifact save failed: " ^ Core.Errors.to_string e)
+         | Ok () ->
+           (match do_reload t with
+            | Error msg -> Error ("swap failed: " ^ msg)
+            | Ok () ->
+              let hot' = Atomic.get t.hot in
+              Ok
+                ( hot'.n_rep,
+                  hot'.artifact.Store.n_paths - hot'.n_rep,
+                  (Unix.gettimeofday () -. t0) *. 1000.0 )))
+    end
+
+let create ?(config = default_config) ?reload_from artifact =
+  let t = create_raw ~config ?reload_from artifact in
+  (match config.monitor with
+   | None -> ()
+   | Some mc ->
+     let hot = Atomic.get t.hot in
+     t.mon <-
+       Some
+         (Monitor.create ~config:mc ~n_paths:hot.artifact.Store.n_paths
+            ~r:hot.n_rep
+            ~m:(hot.artifact.Store.n_paths - hot.n_rep)
+            ~reselect:(fun recent -> reselect_from_recent t recent)
+            ()));
+  t
+
+let monitor_step t ~now =
+  match t.mon with
+  | None -> ()
+  | Some mon ->
+    if Atomic.exchange t.mon_resync false then begin
+      let hot = Atomic.get t.hot in
+      if hot.artifact.Store.n_paths = Monitor.n_paths mon then
+        Monitor.swapped mon ~r:hot.n_rep
+          ~m:(hot.artifact.Store.n_paths - hot.n_rep)
+      else begin
+        (* an operator swapped in an artifact over a different path
+           pool: the recent-die ring no longer lines up, so monitoring
+           stands down rather than feed the detector garbage *)
+        t.mon <- None;
+        Printf.eprintf
+          "pathsel serve: artifact path pool changed (%d -> %d paths); \
+           drift monitoring disabled\n%!"
+          (Monitor.n_paths mon) hot.artifact.Store.n_paths
+      end
+    end;
+    (match t.mon with Some m -> Monitor.step m ~now | None -> ())
+
+let monitor_report t = Option.map Monitor.read t.mon
 
 let latency_stats_locked c =
   let n = Int.min c.lat_n latency_window in
@@ -159,7 +312,14 @@ let latency_stats_locked c =
 (* ------------------------------------------------------------------ *)
 (* Request handling *)
 
-let ok_fields op rest = Wire.Obj (("ok", Wire.Bool true) :: ("op", Wire.String op) :: rest)
+(* every ok response names the artifact generation that produced it, so
+   a client can tell when a hot swap happened under its stream *)
+let ok_fields ~gen op rest =
+  Wire.Obj
+    (("ok", Wire.Bool true)
+    :: ("op", Wire.String op)
+    :: ("gen", Wire.Int gen)
+    :: rest)
 
 (* semantic failures (bad shapes, compute errors) carry their
    sysexits-style numeric code; clients must not retry them *)
@@ -173,6 +333,33 @@ let error_response ?(code = 65) msg =
 let infra_response code msg =
   Wire.Obj
     [ ("ok", Wire.Bool false); ("error", Wire.String msg); ("code", Wire.String code) ]
+
+let monitor_fields t =
+  match monitor_report t with
+  | None -> []
+  | Some (r : Monitor.report) ->
+    [
+      ( "monitor",
+        Wire.Obj
+          [
+            ("state", Wire.String (Stats.Drift.state_to_string r.Monitor.state));
+            ("calibrating", Wire.Bool r.Monitor.calibrating);
+            ("observed", Wire.Int r.Monitor.observed);
+            ("skipped", Wire.Int r.Monitor.skipped);
+            ("dropped", Wire.Int r.Monitor.dropped);
+            ("cusum", Wire.Float r.Monitor.cusum);
+            ("var_ratio", Wire.Float r.Monitor.var_ratio);
+            ("quarantined", Wire.Bool r.Monitor.quarantined);
+            ("monitor_errors", Wire.Int r.Monitor.monitor_errors);
+            ("refit_dies", Wire.Int r.Monitor.refit_dies);
+            ("refit_resyncs", Wire.Int r.Monitor.refit_resyncs);
+            ("reselects", Wire.Int r.Monitor.reselects);
+            ("reselect_failures", Wire.Int r.Monitor.reselect_failures);
+            ("last_reselect_ms", Wire.Float r.Monitor.last_reselect_ms);
+            ("backoff_s", Wire.Float r.Monitor.backoff_s);
+            ("last_error", Wire.String r.Monitor.last_error);
+          ] );
+    ]
 
 let handle_stats t =
   let hot = Atomic.get t.hot in
@@ -200,6 +387,7 @@ let handle_stats t =
         Wire.Obj
           [
             ("fingerprint", Wire.String a.Store.fingerprint);
+            ("generation", Wire.Int hot.gen);
             ("paths", Wire.Int a.Store.n_paths);
             ("representatives", Wire.Int hot.n_rep);
             ("predicted_paths", Wire.Int (a.Store.n_paths - hot.n_rep));
@@ -207,9 +395,10 @@ let handle_stats t =
             ("eps", Wire.Float a.Store.eps);
           ] );
     ]
+    @ monitor_fields t
   in
   Mutex.unlock t.cm;
-  ok_fields "stats" fields
+  ok_fields ~gen:hot.gen "stats" fields
 
 let handle_predict t hot req =
   match Wire.member "dies" req with
@@ -262,11 +451,92 @@ let handle_predict t hot req =
               Core.Predictor.predict_all hot.predictor ~measured)
          in
          tick t (fun c -> c.predicted <- c.predicted + n_dies);
-         ok_fields "predict"
+         ok_fields ~gen:hot.gen "predict"
            (("dies", Wire.Int n_dies)
             :: extra
             @ [ ("predictions", Wire.mat_to_json predicted) ])
        end)
+
+(* observe: stream fully measured dies (representative measurements
+   plus ground-truth remaining-path delays) into the self-healing loop.
+   The handler does the cheap, bounded part — screen, one predictor
+   apply, residuals — and hands the dies to the monitor thread through
+   a lock-free queue; detection and re-selection never ride a request. *)
+let handle_observe t hot req =
+  match t.mon with
+  | None -> error_response "observe: drift monitoring is disabled on this server"
+  | Some mon ->
+    (match (Wire.member "dies" req, Wire.member "truth" req) with
+     | None, _ -> error_response "observe: missing \"dies\""
+     | _, None -> error_response "observe: missing \"truth\""
+     | Some dies, Some truth ->
+       let n_rem = hot.artifact.Store.n_paths - hot.n_rep in
+       (match
+          ( Wire.mat_of_json ~cols:hot.n_rep dies,
+            Wire.mat_of_json ~cols:n_rem truth )
+        with
+        | Error msg, _ -> error_response ("observe: dies: " ^ msg)
+        | _, Error msg -> error_response ("observe: truth: " ^ msg)
+        | Ok measured, Ok truth ->
+          let n_dies, _ = Linalg.Mat.dims measured in
+          let n_truth, _ = Linalg.Mat.dims truth in
+          if n_dies <> n_truth then
+            error_response
+              (Printf.sprintf
+                 "observe: %d measurement rows but %d truth rows" n_dies
+                 n_truth)
+          else if n_dies > t.cfg.max_batch then
+            error_response
+              (Printf.sprintf
+                 "observe: batch of %d dies exceeds the %d-die limit" n_dies
+                 t.cfg.max_batch)
+          else if n_dies = 0 then
+            error_response "observe: empty batch"
+          else begin
+            (* the MAD screen + missing check keep corrupted dies out of
+               the refit/detector stream; they are counted, not served *)
+            let screen = Core.Robust.screen hot.robust ~measured in
+            let die_clean i =
+              let row = screen.Core.Robust.mask.(i) in
+              let ok = ref (Array.for_all (fun b -> b) row) in
+              for j = 0 to n_rem - 1 do
+                if not (Float.is_finite (Linalg.Mat.get truth i j)) then
+                  ok := false
+              done;
+              !ok
+            in
+            let pred = Core.Predictor.predict_all hot.predictor ~measured in
+            let rep = Core.Predictor.rep_indices hot.predictor in
+            let rem = Core.Predictor.rem_indices hot.predictor in
+            let queued = ref 0 in
+            for i = 0 to n_dies - 1 do
+              if die_clean i then begin
+                incr queued;
+                let m_row = Linalg.Mat.row measured i in
+                let t_row = Linalg.Mat.row truth i in
+                let full = Array.make hot.artifact.Store.n_paths 0.0 in
+                Array.iteri (fun j p -> full.(p) <- m_row.(j)) rep;
+                Array.iteri (fun j p -> full.(p) <- t_row.(j)) rem;
+                let resid = ref 0.0 in
+                for j = 0 to n_rem - 1 do
+                  resid := !resid +. (t_row.(j) -. Linalg.Mat.get pred i j)
+                done;
+                Monitor.submit mon
+                  {
+                    Monitor.measured = m_row;
+                    truth = t_row;
+                    full;
+                    resid = !resid /. float_of_int n_rem;
+                  }
+              end
+            done;
+            ok_fields ~gen:hot.gen "observe"
+              [
+                ("dies", Wire.Int n_dies);
+                ("queued", Wire.Int !queued);
+                ("screened", Wire.Int (n_dies - !queued));
+              ]
+          end))
 
 let handle t line =
   let t0 = Unix.gettimeofday () in
@@ -279,15 +549,21 @@ let handle t line =
     | Ok req ->
       (match Wire.member "op" req with
        | Some (Wire.String "ping") ->
-         ok_fields "ping" [ ("version", Wire.Int Store.current_version) ]
+         ok_fields ~gen:hot.gen "ping"
+           [ ("version", Wire.Int Store.current_version) ]
        | Some (Wire.String "stats") -> handle_stats t
        | Some (Wire.String "shutdown") ->
          Atomic.set t.stop_flag true;
-         ok_fields "shutdown" [ ("draining", Wire.Bool true) ]
+         ok_fields ~gen:hot.gen "shutdown" [ ("draining", Wire.Bool true) ]
        | Some (Wire.String "predict") ->
          (* isolate compute errors: a pathological batch answers
             ok:false instead of tearing the connection down *)
          (match Core.Errors.catch (fun () -> handle_predict t hot req) with
+          | Ok resp -> resp
+          | Error e ->
+            error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
+       | Some (Wire.String "observe") ->
+         (match Core.Errors.catch (fun () -> handle_observe t hot req) with
           | Ok resp -> resp
           | Error e ->
             error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
@@ -423,22 +699,6 @@ let listen_on addr =
     in
     (fd, bound, fun () -> ())
 
-let do_reload t =
-  match t.reload_from with
-  | None -> ()
-  | Some path ->
-    (* load + CRC-verify off to the side; only a good artifact is
-       swapped in, and in-flight requests finish on their snapshot *)
-    (match Store.load path with
-     | Ok artifact ->
-       Atomic.set t.hot (hot_of_artifact artifact);
-       tick t (fun c -> c.reloads <- c.reloads + 1)
-     | Error e ->
-       tick t (fun c -> c.reload_failures <- c.reload_failures + 1);
-       Printf.eprintf
-         "pathsel serve: reload of %s failed: %s (keeping the loaded artifact)\n%!"
-         path (Core.Errors.to_string e))
-
 type shared = {
   srv : t;
   q : Unix.file_descr Queue.t;
@@ -499,6 +759,22 @@ let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
   let workers =
     List.init (resolved_workers t.cfg) (fun _ -> Thread.create worker sh)
   in
+  (* the self-healing loop rides its own thread: drain observations,
+     update detector/refit, and run re-selection when drift binds — a
+     slow reselect stalls only this thread, never a request *)
+  let monitor_thread =
+    match t.mon with
+    | None -> None
+    | Some _ ->
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get t.stop_flag) do
+               monitor_step t ~now:(Unix.gettimeofday ());
+               Thread.delay 0.05
+             done)
+           ())
+  in
   Fun.protect
     ~finally:(fun () ->
       Atomic.set t.stop_flag true;
@@ -506,6 +782,7 @@ let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
       Condition.broadcast sh.qc;
       Mutex.unlock sh.qm;
       List.iter Thread.join workers;
+      Option.iter Thread.join monitor_thread;
       (* accepted but never picked up: close without service *)
       Mutex.lock sh.qm;
       Queue.iter close_quiet sh.q;
@@ -516,7 +793,14 @@ let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
     (fun () ->
       Option.iter (fun f -> f bound) on_ready;
       while not (Atomic.get t.stop_flag) do
-        if Atomic.exchange t.reload_requested false then do_reload t;
+        if Atomic.exchange t.reload_requested false then begin
+          match do_reload t with
+          | Ok () -> ()
+          | Error msg ->
+            Printf.eprintf
+              "pathsel serve: reload failed: %s (keeping the loaded artifact)\n%!"
+              msg
+        end;
         match Io.wait_readable lfd 0.25 with
         | `Timeout | `Interrupted -> ()
         | `Ready ->
@@ -550,6 +834,8 @@ module Client = struct
     fd : Unix.file_descr;
     framer : Wire.Framer.t;
     chunk : Bytes.t;
+    mutable last_gen : int option;
+        (* last artifact generation seen on this connection *)
   }
 
   let sockaddr_of = function
@@ -563,7 +849,7 @@ module Client = struct
       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
       match Io.connect fd sa ~timeout with
       | () ->
-        { fd; framer = Wire.Framer.create (); chunk = Bytes.create 65536 }
+        { fd; framer = Wire.Framer.create (); chunk = Bytes.create 65536; last_gen = None }
       | exception
           Unix.Unix_error
             ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
@@ -601,6 +887,27 @@ module Client = struct
     in
     go ()
 
+  (* every ok response names the artifact generation that served it; a
+     change mid-stream means earlier predictions on this connection came
+     from a different model — worth a warning, not an error (the swap
+     is exactly what the self-healing loop is for) *)
+  let note_generation c resp =
+    match Wire.member "gen" resp with
+    | Some (Wire.Int g) ->
+      (match c.last_gen with
+       | Some g0 when g0 <> g ->
+         Printf.eprintf
+           "pathsel client: server artifact generation changed mid-stream \
+            (%d -> %d); predictions before and after came from different \
+            models\n%!"
+           g0 g;
+         c.last_gen <- Some g
+       | Some _ -> ()
+       | None -> c.last_gen <- Some g)
+    | _ -> ()
+
+  let generation c = c.last_gen
+
   let request ?(deadline = 30.0) c req =
     let dl = Unix.gettimeofday () +. deadline in
     match
@@ -608,7 +915,12 @@ module Client = struct
         ~timeout:(Float.max 0.0 (dl -. Unix.gettimeofday ()));
       read_line ~deadline:dl c
     with
-    | Some line -> Wire.parse line
+    | Some line ->
+      (match Wire.parse line with
+       | Ok resp ->
+         note_generation c resp;
+         Ok resp
+       | Error _ as e -> e)
     | None -> Error "connection closed by server"
     | exception Io.Timeout -> Error "timeout: no response within the deadline"
     | exception Io.Closed -> Error "short write: connection lost"
@@ -654,6 +966,25 @@ module Client = struct
     match request ?deadline c (predict_request robust measured) with
     | Error msg -> Error msg
     | Ok resp -> decode_predict resp
+
+  let observe ?deadline c ~measured ~truth =
+    let req =
+      Wire.Obj
+        [
+          ("op", Wire.String "observe");
+          ("dies", Wire.mat_to_json measured);
+          ("truth", Wire.mat_to_json truth);
+        ]
+    in
+    match request ?deadline c req with
+    | Error msg -> Error msg
+    | Ok resp ->
+      if Wire.member "ok" resp = Some (Wire.Bool true) then Ok resp
+      else
+        Error
+          (match Wire.member "error" resp with
+           | Some (Wire.String msg) -> msg
+           | _ -> "server refused the observation batch")
 
   let shutdown c =
     match request c (Wire.Obj [ ("op", Wire.String "shutdown") ]) with

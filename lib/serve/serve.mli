@@ -19,6 +19,7 @@
     {"op":"stats"}
     {"op":"shutdown"}
     {"op":"predict","dies":[[d11,...,d1r],...],"robust":true}
+    {"op":"observe","dies":[[d11,...,d1r],...],"truth":[[t11,...,t1m],...]}
     v}
 
     [dies] is one row of [r] measured representative-path delays per
@@ -29,6 +30,15 @@
     the plain {!Core.Predictor} matrix path, and the two agree
     bit-for-bit on clean data. A malformed line poisons only its own
     response, never the connection or the accept loop.
+
+    [observe] streams {e fully measured} dies — representative
+    measurements plus ground-truth remaining-path delays — into the
+    self-healing loop (enabled by {!config}'s [monitor]): dies passing
+    the MAD/missing screen feed the drift detector and the incremental
+    refit, and become re-selection input if drift binds. Every ok
+    response carries the artifact generation ([gen], starting at 1 and
+    bumped by each hot swap) so consumers can correlate predictions
+    with the model that produced them.
 
     {2 Failure codes}
 
@@ -68,6 +78,11 @@ module Io : module type of Io
 (** Re-export of the timeout-wrapped socket primitives (also used by
     the [Chaos] proxy). *)
 
+module Monitor : module type of Monitor
+(** Re-export of the self-healing loop (drift detection, incremental
+    refit, background re-selection); configure it via {!config}'s
+    [monitor] field. *)
+
 type address =
   | Unix_sock of string  (** filesystem path of a Unix-domain socket *)
   | Tcp of int           (** TCP port on 127.0.0.1; 0 = ephemeral *)
@@ -88,6 +103,9 @@ type config = {
                             beyond it, connections are shed *)
   deadline : float;     (** per-request wall-clock budget, seconds (10) *)
   idle_timeout : float; (** silent-connection reap, seconds (60) *)
+  monitor : Monitor.config option;
+      (** arm the self-healing loop ([None], off, by default); requires
+          [reload_from] for auto re-selection to fire *)
 }
 
 val default_config : config
@@ -108,6 +126,24 @@ val handle : t -> string -> string
     Thread-safe. *)
 
 val stopping : t -> bool
+
+val do_reload : t -> (unit, string) result
+(** Load + CRC-verify the [reload_from] artifact and atomically swap it
+    in, bumping the generation; in-flight requests finish on their
+    snapshot. This is the single swap path: SIGHUP requests it, the
+    background re-selection calls it after {!Store.save}. [Error] when
+    no reload path is configured or the artifact is rejected (the old
+    artifact keeps serving either way; [reload_failures] counts it). *)
+
+val monitor_step : t -> now:float -> unit
+(** One iteration of the self-healing loop: re-anchor the monitor after
+    an artifact swap, drain queued observations, update the detector
+    and refit, and trigger re-selection when drift binds. [run] drives
+    this from a dedicated thread; tests may drive it directly for
+    deterministic control. No-op when the monitor is off. *)
+
+val monitor_report : t -> Monitor.report option
+(** Latest monitor snapshot ([None] when monitoring is off). *)
 
 val listen_on : address -> Unix.file_descr * address * (unit -> unit)
 (** Bind + listen on [address]; returns the listening descriptor, the
@@ -165,6 +201,22 @@ module Client : sig
       [dies x (n-r)] predictions plus the full response object
       (screen/fallback counters live there). An ["ok":false] response
       is the [Error] case. *)
+
+  val observe :
+    ?deadline:float ->
+    conn ->
+    measured:Linalg.Mat.t ->
+    truth:Linalg.Mat.t ->
+    (Wire.json, string) result
+  (** Stream a batch of fully measured dies ([measured]: [dies x r],
+      [truth]: [dies x (n-r)]) into the server's self-healing loop.
+      [Ok] carries the full response ([queued]/[screened] counts); an
+      ["ok":false] response is the [Error] case. *)
+
+  val generation : conn -> int option
+  (** Artifact generation of the last ok response on this connection
+      ([None] before the first). A mid-stream change — the server hot
+      swapped its artifact — is reported on [stderr] when detected. *)
 
   val shutdown : conn -> unit
   (** Best-effort: sends the request and reads the ack; errors are

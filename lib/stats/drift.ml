@@ -1,0 +1,145 @@
+type state = Healthy | Warning | Drifted
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Warning -> "warning"
+  | Drifted -> "drifted"
+
+type config = {
+  slack : float;
+  warn : float;
+  drift : float;
+  window : int;
+  var_ratio : float;
+  max_consecutive_bad : int;
+}
+
+let default_config =
+  {
+    slack = 0.5;
+    warn = 4.0;
+    drift = 8.0;
+    window = 64;
+    var_ratio = 6.0;
+    max_consecutive_bad = 8;
+  }
+
+(* A degenerate (zero-sigma) reference means healthy residuals are a
+   point mass: floor sigma so the first real deviation produces a huge
+   standardized step instead of a division by zero. *)
+let sigma_floor = 1e-12
+
+type t = {
+  cfg : config;
+  mean0 : float;
+  sigma0 : float; (* floored, > 0 *)
+  mutable s_hi : float;
+  mutable s_lo : float;
+  mutable n : int; (* finite residuals consumed *)
+  mutable bad : int;
+  mutable consecutive_bad : int;
+  mutable quarantine : bool;
+  win : float array; (* ring buffer of recent residuals *)
+  mutable win_n : int; (* total pushed into the ring *)
+  mutable st : state;
+}
+
+let create ?(config = default_config) ~mean ~sigma () =
+  if not (Float.is_finite mean) then
+    invalid_arg "Drift.create: reference mean must be finite";
+  if (not (Float.is_finite sigma)) || sigma < 0.0 then
+    invalid_arg "Drift.create: reference sigma must be finite and >= 0";
+  if config.window < 2 then invalid_arg "Drift.create: window must be >= 2";
+  if not (Float.is_finite config.drift && config.drift > 0.0) then
+    invalid_arg "Drift.create: drift threshold must be positive";
+  if config.warn > config.drift then
+    invalid_arg "Drift.create: warn threshold must not exceed drift threshold";
+  if config.slack < 0.0 then invalid_arg "Drift.create: slack must be >= 0";
+  if config.var_ratio <= 1.0 then
+    invalid_arg "Drift.create: var_ratio must exceed 1";
+  if config.max_consecutive_bad < 1 then
+    invalid_arg "Drift.create: max_consecutive_bad must be >= 1";
+  {
+    cfg = config;
+    mean0 = mean;
+    sigma0 = Float.max sigma sigma_floor;
+    s_hi = 0.0;
+    s_lo = 0.0;
+    n = 0;
+    bad = 0;
+    consecutive_bad = 0;
+    quarantine = false;
+    win = Array.make config.window 0.0;
+    win_n = 0;
+    st = Healthy;
+  }
+
+let cusum t = Float.max t.s_hi t.s_lo
+
+let window_variance t =
+  let k = Array.length t.win in
+  if t.win_n < k then None
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 t.win /. float_of_int k in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. mean in
+        acc := !acc +. (d *. d))
+      t.win;
+    Some (!acc /. float_of_int (k - 1))
+  end
+
+let variance_ratio t =
+  match window_variance t with
+  | None -> None
+  | Some v -> Some (v /. (t.sigma0 *. t.sigma0))
+
+let classify t =
+  match t.st with
+  | Drifted -> Drifted (* latched *)
+  | Healthy | Warning ->
+    let c = cusum t in
+    let var_hit =
+      match variance_ratio t with
+      | Some r -> r >= t.cfg.var_ratio
+      | None -> false
+    in
+    if c >= t.cfg.drift || var_hit then Drifted
+    else if c >= t.cfg.warn then Warning
+    else Healthy
+
+let observe t x =
+  if t.quarantine then t.st
+  else if not (Float.is_finite x) then begin
+    t.bad <- t.bad + 1;
+    t.consecutive_bad <- t.consecutive_bad + 1;
+    if t.consecutive_bad >= t.cfg.max_consecutive_bad then
+      t.quarantine <- true;
+    t.st
+  end
+  else begin
+    t.consecutive_bad <- 0;
+    let z = (x -. t.mean0) /. t.sigma0 in
+    t.s_hi <- Float.max 0.0 (t.s_hi +. z -. t.cfg.slack);
+    t.s_lo <- Float.max 0.0 (t.s_lo -. z -. t.cfg.slack);
+    t.win.(t.win_n mod Array.length t.win) <- x;
+    t.win_n <- t.win_n + 1;
+    t.n <- t.n + 1;
+    t.st <- classify t;
+    t.st
+  end
+
+let state t = t.st
+let observed t = t.n
+let bad_inputs t = t.bad
+let quarantined t = t.quarantine
+
+let reset t =
+  t.s_hi <- 0.0;
+  t.s_lo <- 0.0;
+  t.n <- 0;
+  t.consecutive_bad <- 0;
+  t.quarantine <- false;
+  t.win_n <- 0;
+  t.st <- Healthy

@@ -1,0 +1,80 @@
+(** Sequential drift detection on prediction residuals.
+
+    A two-sided CUSUM on standardized residuals catches persistent mean
+    shifts; a windowed sample-variance ratio catches spread blow-ups
+    that leave the mean intact. The detector is calibrated against a
+    fixed reference [(mean, sigma)] supplied at creation time (callers
+    typically estimate it from the first few dozen healthy dies) and
+    reports a typed state after every observation.
+
+    The detector is a diagnostic, never a gatekeeper: pathological
+    input (non-finite residuals) is counted and, past a configurable
+    run length, quarantines the {e detector} — the caller's serving
+    path must keep running regardless of what happens here. *)
+
+type state = Healthy | Warning | Drifted
+
+val state_to_string : state -> string
+
+type config = {
+  slack : float;
+      (** CUSUM slack [k], in reference sigmas: deviations below this
+          are absorbed. Default [0.5] (tuned for ~1-sigma shifts). *)
+  warn : float;
+      (** CUSUM statistic (in sigmas) at which the state becomes
+          [Warning]. Default [4.0]. *)
+  drift : float;
+      (** CUSUM statistic at which the state becomes [Drifted]; the
+          boundary is inclusive ([>=]). Default [8.0]. *)
+  window : int;
+      (** Residual-variance window length. Default [64]. *)
+  var_ratio : float;
+      (** Windowed sample variance over reference variance at which the
+          state becomes [Drifted] even without a mean shift.
+          Default [6.0]. *)
+  max_consecutive_bad : int;
+      (** Consecutive non-finite residuals after which the detector
+          quarantines itself. Default [8]. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> mean:float -> sigma:float -> unit -> t
+(** Reference distribution of healthy residuals. [sigma] must be
+    finite and [>= 0]; a zero [sigma] (degenerate reference) is floored
+    internally so that any departure from [mean] registers immediately.
+    Raises [Invalid_argument] on non-finite or negative inputs, or on a
+    non-positive [window], [drift <= 0] or [warn > drift]. *)
+
+val observe : t -> float -> state
+(** Feed one residual and return the updated state. [Drifted] latches:
+    once reached it persists until [reset]. Non-finite input never
+    raises — it is counted ([bad_inputs]), leaves the statistics
+    untouched, and after [max_consecutive_bad] in a row the detector
+    quarantines itself ([quarantined] becomes true and the state
+    freezes). *)
+
+val state : t -> state
+
+val cusum : t -> float
+(** Current two-sided CUSUM statistic, max of the high and low sides,
+    in reference sigmas. *)
+
+val variance_ratio : t -> float option
+(** Windowed sample variance over reference variance; [None] until the
+    window has filled. *)
+
+val observed : t -> int
+(** Finite residuals consumed. *)
+
+val bad_inputs : t -> int
+(** Non-finite residuals rejected (cumulative, survives [reset]). *)
+
+val quarantined : t -> bool
+
+val reset : t -> unit
+(** Clear CUSUM state, window, latch and quarantine; keep the reference
+    distribution and the cumulative [bad_inputs] counter. Use after an
+    artifact swap (followed by recalibration) or operator intervention. *)

@@ -62,6 +62,21 @@ let par_local_ref_good =
   \  Par.Pool.parallel_for 0 n (fun i -> ignore i);\n\
   \  !total"
 
+let monitor_mutex_bad = "let f m = Mutex.lock m"
+let monitor_condwait_bad = "let f c m = Condition.wait c m"
+let monitor_join_bad = "let f t = Thread.join t"
+let monitor_select_bad = "let f fd = Unix.select [ fd ] [] [] 0.25"
+
+let monitor_atomic_good =
+  "let q = Atomic.make []\n\
+   let push x =\n\
+  \  let rec go () =\n\
+  \    let old = Atomic.get q in\n\
+  \    if not (Atomic.compare_and_set q old (x :: old)) then go ()\n\
+  \  in\n\
+  \  go ()\n\
+   let drain () = Atomic.exchange q []"
+
 (* ------------------------------------------------------------------ *)
 
 let unit_tests =
@@ -118,6 +133,26 @@ let unit_tests =
     ( "no-unbounded-io silent on select/accept",
       check_silent "no-unbounded-io" ~path:"lib/serve/serve.ml"
         "let f fd = Unix.select [ fd ] [] [] 0.25, Unix.accept fd" );
+    (* no-blocking-in-monitor: the self-healing loop shares state with
+       the serving path through Atomic snapshots only *)
+    ( "no-blocking-in-monitor fires on Mutex.lock",
+      check_fires "no-blocking-in-monitor" ~path:"lib/serve/monitor.ml"
+        monitor_mutex_bad );
+    ( "no-blocking-in-monitor fires on Condition.wait",
+      check_fires "no-blocking-in-monitor" ~path:"lib/serve/monitor.ml"
+        monitor_condwait_bad );
+    ( "no-blocking-in-monitor fires on Thread.join",
+      check_fires "no-blocking-in-monitor" ~path:"lib/serve/monitor.ml"
+        monitor_join_bad );
+    ( "no-blocking-in-monitor fires on Unix.select",
+      check_fires "no-blocking-in-monitor" ~path:"lib/serve/monitor.ml"
+        monitor_select_bad );
+    ( "no-blocking-in-monitor silent outside the monitor",
+      check_silent "no-blocking-in-monitor" ~path:"lib/serve/serve.ml"
+        monitor_mutex_bad );
+    ( "no-blocking-in-monitor silent on lock-free Atomic code",
+      check_silent "no-blocking-in-monitor" ~path:"lib/serve/monitor.ml"
+        monitor_atomic_good );
     (* suppression comments *)
     ( "suppression silences a rule",
       check_silent "no-float-eq" ("(* lint: allow no-float-eq *)\n" ^ float_eq_bad) );

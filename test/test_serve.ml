@@ -512,6 +512,212 @@ let test_retry_semantics () =
       Alcotest.(check bool) "backoff slept between attempts" true
         (Unix.gettimeofday () -. t0 >= 0.03))
 
+(* ------------------------------------------------------------------ *)
+(* Generation counters, the observe op, and the self-healing loop
+   (in-process: [Serve.handle]/[Serve.monitor_step] driven directly) *)
+
+let gen_of r =
+  match Serve.Wire.parse r with
+  | Ok j ->
+    (match Serve.Wire.member "gen" j with
+     | Some (Serve.Wire.Int g) -> g
+     | _ -> Alcotest.failf "response carries no generation: %s" r)
+  | Error m -> Alcotest.failf "unparseable response: %s" m
+
+let observe_req measured truth =
+  Serve.Wire.print
+    (Serve.Wire.Obj
+       [
+         ("op", Serve.Wire.String "observe");
+         ("dies", Serve.Wire.mat_to_json measured);
+         ("truth", Serve.Wire.mat_to_json truth);
+       ])
+
+let serve_mon_cfg =
+  {
+    Serve.Monitor.default_config with
+    Serve.Monitor.calibrate = 8;
+    min_dies = 8;
+    buffer = 16;
+    refit_min = 4;
+    cooldown = 0.5;
+    drift =
+      { Stats.Drift.default_config with Stats.Drift.slack = 0.0; warn = 1.0;
+        drift = 2.0 };
+  }
+
+(* residual-free truth: predictions of the serving artifact itself, so
+   calibration sees a zero-sigma healthy reference *)
+let exact_truth store clean =
+  Core.Predictor.predict_all (Store.predictor store) ~measured:clean
+
+let with_artifact_file f =
+  let store, clean = Lazy.force artifact in
+  let apath = Filename.temp_file "pathsel-mon" ".psa" in
+  (match Store.save apath store with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save failed: %s" (Core.Errors.to_string e));
+  Fun.protect ~finally:(fun () -> try Sys.remove apath with Sys_error _ -> ())
+  @@ fun () -> f store clean apath
+
+let test_generation_and_reload () =
+  with_artifact_file @@ fun store _clean apath ->
+  let t = Serve.create ~reload_from:apath store in
+  Alcotest.(check int) "fresh server is generation 1" 1
+    (gen_of (Serve.handle t {|{"op":"ping"}|}));
+  (match Serve.do_reload t with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "reload failed: %s" m);
+  Alcotest.(check int) "reload bumps the generation" 2
+    (gen_of (Serve.handle t {|{"op":"ping"}|}));
+  (match Serve.Wire.parse (Serve.handle t {|{"op":"stats"}|}) with
+   | Ok j ->
+     (match Serve.Wire.member "artifact" j with
+      | Some a ->
+        (match Serve.Wire.member "generation" a with
+         | Some (Serve.Wire.Int 2) -> ()
+         | _ -> Alcotest.failf "artifact.generation: %s" (Serve.Wire.print j))
+      | None -> Alcotest.fail "stats missing artifact")
+   | Error m -> Alcotest.failf "stats unparseable: %s" m);
+  (* without a reload path the swap is refused, not crashed *)
+  let t2 = Serve.create store in
+  match Serve.do_reload t2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "reload without a path must be refused"
+
+let test_observe_requires_monitor () =
+  let store, clean = Lazy.force artifact in
+  let t = Serve.create store in
+  Alcotest.(check bool) "observe refused when monitoring is off" false
+    (response_ok (Serve.handle t (observe_req clean (exact_truth store clean))))
+
+let test_auto_reselect_end_to_end () =
+  with_artifact_file @@ fun store clean apath ->
+  let config =
+    { Serve.default_config with Serve.monitor = Some serve_mon_cfg }
+  in
+  let t = Serve.create ~config ~reload_from:apath store in
+  let truth = exact_truth store clean in
+  let n_dies, n_rem = Linalg.Mat.dims truth in
+  (* healthy stream: calibration plus a flat zero-residual baseline *)
+  let r1 = Serve.handle t (observe_req clean truth) in
+  Alcotest.(check bool) "observe accepted" true (response_ok r1);
+  Alcotest.(check int) "observe rides generation 1" 1 (gen_of r1);
+  (match Serve.Wire.parse r1 with
+   | Ok j ->
+     (match Serve.Wire.member "queued" j with
+      | Some (Serve.Wire.Int q) -> Alcotest.(check int) "all dies clean" n_dies q
+      | _ -> Alcotest.failf "no queued count: %s" r1)
+   | Error m -> Alcotest.failf "unparseable: %s" m);
+  Serve.monitor_step t ~now:0.0;
+  (match Serve.monitor_report t with
+   | Some rep ->
+     Alcotest.(check bool) "calibrated" false rep.Serve.Monitor.calibrating;
+     Alcotest.(check int) "stream observed" n_dies rep.Serve.Monitor.observed;
+     Alcotest.(check string) "healthy baseline" "healthy"
+       (Stats.Drift.state_to_string rep.Serve.Monitor.state)
+   | None -> Alcotest.fail "monitor armed but no report");
+  (* inject a process shift: every remaining-path delay jumps — the
+     residual stream leaves the zero-sigma reference immediately *)
+  let shifted =
+    Linalg.Mat.init n_dies n_rem (fun i j -> Linalg.Mat.get truth i j +. 10.0)
+  in
+  Alcotest.(check bool) "shifted batch accepted" true
+    (response_ok (Serve.handle t (observe_req clean shifted)));
+  Serve.monitor_step t ~now:1.0;
+  (match Serve.monitor_report t with
+   | Some rep ->
+     Alcotest.(check int) "drift bound, reselect ran" 1
+       rep.Serve.Monitor.reselects;
+     Alcotest.(check int) "no failures" 0 rep.Serve.Monitor.reselect_failures;
+     Alcotest.(check bool) "reselect wall time surfaced" true
+       (Float.is_finite rep.Serve.Monitor.last_reselect_ms)
+   | None -> Alcotest.fail "monitor lost after reselect");
+  (* the re-selected artifact was saved, CRC-verified and swapped in *)
+  Alcotest.(check int) "swap bumped the generation" 2
+    (gen_of (Serve.handle t {|{"op":"ping"}|}));
+  match Serve.Wire.parse (Serve.handle t {|{"op":"stats"}|}) with
+  | Ok j ->
+    (match Serve.Wire.member "artifact" j with
+     | Some a ->
+       (match Serve.Wire.member "fingerprint" a with
+        | Some (Serve.Wire.String fp) ->
+          let has_marker =
+            let marker = "[reselect" in
+            let lm = String.length marker and n = String.length fp in
+            let rec go i =
+              i + lm <= n && (String.sub fp i lm = marker || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "provenance in the fingerprint" true has_marker
+        | _ -> Alcotest.fail "no fingerprint")
+     | None -> Alcotest.fail "stats missing artifact")
+  | Error m -> Alcotest.failf "stats unparseable: %s" m
+
+let test_reselect_failure_degrades_gracefully () =
+  (* monitor armed but no reload path: re-selection cannot swap, so it
+     must fail into backoff while the old artifact keeps serving *)
+  let store, clean = Lazy.force artifact in
+  let config =
+    { Serve.default_config with Serve.monitor = Some serve_mon_cfg }
+  in
+  let t = Serve.create ~config store in
+  let truth = exact_truth store clean in
+  let n_dies, n_rem = Linalg.Mat.dims truth in
+  Alcotest.(check bool) "healthy stream" true
+    (response_ok (Serve.handle t (observe_req clean truth)));
+  Serve.monitor_step t ~now:0.0;
+  let shifted =
+    Linalg.Mat.init n_dies n_rem (fun i j -> Linalg.Mat.get truth i j +. 10.0)
+  in
+  Alcotest.(check bool) "shifted stream" true
+    (response_ok (Serve.handle t (observe_req clean shifted)));
+  Serve.monitor_step t ~now:1.0;
+  (match Serve.monitor_report t with
+   | Some rep ->
+     Alcotest.(check int) "failure counted" 1
+       rep.Serve.Monitor.reselect_failures;
+     Alcotest.(check int) "nothing swapped" 0 rep.Serve.Monitor.reselects;
+     Alcotest.(check bool) "backoff armed" true
+       (rep.Serve.Monitor.backoff_s > 0.0);
+     Alcotest.(check bool) "cause surfaced" true
+       (String.length rep.Serve.Monitor.last_error > 0)
+   | None -> Alcotest.fail "monitor armed but no report");
+  (* the serving path never noticed: same generation, predictions live *)
+  Alcotest.(check int) "old artifact keeps serving" 1
+    (gen_of (Serve.handle t {|{"op":"ping"}|}));
+  let predict_req =
+    Serve.Wire.print
+      (Serve.Wire.Obj
+         [
+           ("op", Serve.Wire.String "predict");
+           ("dies", Serve.Wire.mat_to_json clean);
+         ])
+  in
+  Alcotest.(check bool) "predict unaffected" true
+    (response_ok (Serve.handle t predict_req))
+
+let test_client_observe_and_generation () =
+  let config =
+    { Serve.default_config with Serve.monitor = Some serve_mon_cfg }
+  in
+  with_server ~config (fun store clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      Alcotest.(check (option int)) "no generation before a response" None
+        (Serve.Client.generation c);
+      Alcotest.(check bool) "ping" true (Serve.Client.ping c);
+      Alcotest.(check (option int)) "generation tracked" (Some 1)
+        (Serve.Client.generation c);
+      let truth = exact_truth store clean in
+      match Serve.Client.observe c ~measured:clean ~truth with
+      | Ok j ->
+        (match Serve.Wire.member "queued" j with
+         | Some (Serve.Wire.Int q) when q >= 1 -> ()
+         | _ -> Alcotest.failf "queued missing: %s" (Serve.Wire.print j))
+      | Error m -> Alcotest.failf "client observe failed: %s" m)
+
 let suites =
   [
     ( "serve",
@@ -535,5 +741,15 @@ let suites =
         Alcotest.test_case "idle connections reaped" `Quick test_idle_reaped;
         Alcotest.test_case "SIGHUP hot reload" `Quick test_sighup_reload;
         Alcotest.test_case "retry policy semantics" `Quick test_retry_semantics;
+        Alcotest.test_case "generation counter and reload" `Quick
+          test_generation_and_reload;
+        Alcotest.test_case "observe requires the monitor" `Quick
+          test_observe_requires_monitor;
+        Alcotest.test_case "drift to auto-reselect, end to end" `Quick
+          test_auto_reselect_end_to_end;
+        Alcotest.test_case "reselect failure degrades gracefully" `Quick
+          test_reselect_failure_degrades_gracefully;
+        Alcotest.test_case "client observe and generation tracking" `Quick
+          test_client_observe_and_generation;
       ] );
   ]

@@ -33,6 +33,8 @@ type config = {
       (* dirs where raw blocking Unix I/O is banned (serving code) *)
   io_wrapper_files : string list;
       (* the timeout-wrapped helpers themselves: the only raw-I/O homes *)
+  monitor_files : string list;
+      (* the monitor/reselect thread: must stay lock-free and non-blocking *)
 }
 
 let default_config =
@@ -43,6 +45,7 @@ let default_config =
     rng_dirs = [ "lib/rng/" ];
     io_checked_dirs = [ "lib/serve/"; "lib/chaos/" ];
     io_wrapper_files = [ "lib/serve/io.ml" ];
+    monitor_files = [ "lib/serve/monitor.ml" ];
   }
 
 let rules =
@@ -71,6 +74,10 @@ let rules =
     ( "no-unbounded-io",
       Error,
       "raw Unix.read/write/connect in serving code (use the Serve.Io wrappers)" );
+    ( "no-blocking-in-monitor",
+      Error,
+      "Mutex/Condition/Thread.join or blocking waits in the monitor/reselect \
+       path (stay lock-free; publish through Atomic snapshots)" );
   ]
 
 let severity_of_rule r =
@@ -321,6 +328,21 @@ let check_expr ctx (e : expression) =
              peer; call the deadline-carrying wrappers in Serve.Io (the only \
              allowlisted home for raw socket I/O)"
             fn)
+     | Some [ ("Mutex" | "Condition" | "Thread" | "Unix") as m; fn ]
+       when is_any ctx.path ctx.cfg.monitor_files
+            && (match (m, fn) with
+                | "Mutex", ("lock" | "try_lock") -> true
+                | "Condition", ("wait" | "wait_timeout") -> true
+                | "Thread", ("join" | "delay") -> true
+                | "Unix", ("select" | "sleep" | "sleepf") -> true
+                | _ -> false) ->
+       emit ctx "no-blocking-in-monitor" e.pexp_loc
+         (Printf.sprintf
+            "%s.%s in the monitor/reselect path: the self-healing loop must \
+             never block (a stalled reselect may slow only its own thread), \
+             so share state through Atomic snapshots and let the caller own \
+             all waiting"
+            m fn)
      | Some [ ("exit" | "failwith") as fn ] when in_lib ctx ->
        emit ctx "no-exit" e.pexp_loc
          (Printf.sprintf

@@ -1,6 +1,6 @@
 (** Project-specific static analysis over OCaml sources (untyped AST).
 
-    Eight rules guard the invariants the parallel numeric core and the
+    Nine rules guard the invariants the parallel numeric core and the
     serving layer depend on; see {!rules} for the list and
     {!default_config} for the allowlists. A comment [(* lint: allow rule-a rule-b *)] anywhere in
     a file suppresses those rules for that file. *)
@@ -25,6 +25,10 @@ type config = {
       (** directories where raw blocking Unix I/O is banned *)
   io_wrapper_files : string list;
       (** the timeout-wrapped helpers: the only raw-I/O homes *)
+  monitor_files : string list;
+      (** the monitor/reselect thread: no locks, joins or blocking waits
+          ([no-blocking-in-monitor]) — the self-healing loop shares
+          state with the serving path through Atomic snapshots only *)
 }
 
 val default_config : config
