@@ -104,10 +104,18 @@ type t = {
   mutable last_reselect_ms : float;
   mutable backoff : float;
   mutable next_attempt : float;
+  mutable self_swap : bool;
+      (* the next [swapped] is our own re-selection landing, not an
+         operator reload: keep the post-reselect cooldown *)
   mutable last_error : string;
 }
 
 let check_config cfg =
+  (* the detector itself is only built once calibration completes, on
+     the monitor thread — validating its config here instead makes bad
+     CLI thresholds (e.g. --drift-warn above --drift-threshold) fail at
+     startup rather than kill the monitor mid-stream *)
+  Stats.Drift.check_config cfg.drift;
   if cfg.calibrate < 2 then invalid_arg "Monitor: calibrate < 2";
   if cfg.min_dies < 1 then invalid_arg "Monitor: min_dies < 1";
   if cfg.buffer < cfg.min_dies then invalid_arg "Monitor: buffer < min_dies";
@@ -148,15 +156,21 @@ let create ?(config = default_config) ~n_paths ~r ~m ~reselect () =
     last_reselect_ms = Float.nan;
     backoff = 0.0;
     next_attempt = 0.0;
+    self_swap = false;
     last_error = "";
   }
 
 let n_paths t = t.n_paths
 
 let submit t o =
-  if Atomic.get t.pending_n >= t.cfg.pending_cap then Atomic.incr t.dropped
+  (* claim a slot first (fetch-and-add, rolled back on overflow) so
+     concurrent submits cannot all pass a check-then-increment and blow
+     past the cap together *)
+  if Atomic.fetch_and_add t.pending_n 1 >= t.cfg.pending_cap then begin
+    ignore (Atomic.fetch_and_add t.pending_n (-1));
+    Atomic.incr t.dropped
+  end
   else begin
-    Atomic.incr t.pending_n;
     let rec push () =
       let cur = Atomic.get t.pending in
       if not (Atomic.compare_and_set t.pending cur (o :: cur)) then push ()
@@ -202,7 +216,10 @@ let publish t =
     }
 
 (* Restart detector + refit against a fresh artifact split; the ring of
-   full dies is artifact-independent and survives. *)
+   full dies is artifact-independent and survives. Re-selection pacing
+   (backoff/next_attempt) is deliberately untouched: clearing it here
+   would erase the post-reselect cooldown the moment our own swap lands
+   back through [swapped]. *)
 let restart t ~r ~m =
   if r < 1 || m < 1 || r + m <> t.n_paths then
     invalid_arg "Monitor: swapped artifact has an incompatible path split";
@@ -213,12 +230,22 @@ let restart t ~r ~m =
   t.refit <-
     Core.Refit.create ~ridge:t.cfg.refit_ridge
       ~resync_every:t.cfg.refit_resync_every ~r ~m ();
-  Atomic.set t.coeffs None;
-  t.backoff <- 0.0;
-  t.next_attempt <- 0.0
+  Atomic.set t.coeffs None
 
 let swapped t ~r ~m =
   restart t ~r ~m;
+  (* an operator swap is a fresh start — clear re-selection pacing; our
+     own reselect's swap keeps the cooldown set when it succeeded *)
+  if not t.self_swap then begin
+    t.backoff <- 0.0;
+    t.next_attempt <- 0.0
+  end;
+  t.self_swap <- false;
+  publish t
+
+let note_error t msg =
+  t.errors <- t.errors + 1;
+  t.last_error <- msg;
   publish t
 
 let feed_detector t resid =
@@ -289,7 +316,9 @@ let maybe_reselect t ~now =
       t.reselects <- t.reselects + 1;
       t.last_reselect_ms <- ms;
       t.last_error <- "";
+      t.self_swap <- true;
       restart t ~r ~m;
+      t.backoff <- 0.0;
       t.next_attempt <- now +. t.cfg.cooldown
     | Error msg ->
       t.reselect_failures <- t.reselect_failures + 1;
@@ -302,7 +331,13 @@ let maybe_reselect t ~now =
 
 let step t ~now =
   let batch = List.rev (Atomic.exchange t.pending []) in
-  Atomic.set t.pending_n 0;
+  (* release exactly the slots we drained: a submit that claimed its
+     slot but has not pushed yet keeps it, so zeroing here would leak
+     its count (and under-admit until the next drain) *)
+  (match batch with
+   | [] -> ()
+   | _ :: _ ->
+     ignore (Atomic.fetch_and_add t.pending_n (-(List.length batch))));
   List.iter (fun o -> ingest t o) batch;
   (match batch with
    | [] -> ()

@@ -71,7 +71,9 @@ type report = {
   cusum : float;  (** 0 while calibrating *)
   var_ratio : float;  (** [nan] until the window fills *)
   quarantined : bool;
-  monitor_errors : int;  (** observations dropped by the fail-safe *)
+  monitor_errors : int;
+      (** fail-safe hits: malformed observations dropped, plus monitor
+          loop failures recorded via {!note_error} *)
   refit_dies : int;
   refit_resyncs : int;
   reselects : int;  (** successful background re-selections *)
@@ -127,8 +129,17 @@ val coefficients : t -> (Linalg.Mat.t * int) option
     thread. *)
 
 val swapped : t -> r:int -> m:int -> unit
-(** Tell the monitor the serving artifact changed under it (SIGHUP
-    reload): reset the detector (to recalibrate against the new
-    model's residuals), restart the refit at the new [(r, m)] split,
-    and clear any pending backoff. The recent-die ring survives — full
-    die vectors are artifact-independent. *)
+(** Tell the monitor the serving artifact changed under it: reset the
+    detector (to recalibrate against the new model's residuals) and
+    restart the refit at the new [(r, m)] split. An operator swap
+    (SIGHUP reload) also clears any pending re-selection backoff; when
+    the swap is the monitor's own re-selection landing, the
+    post-reselect cooldown survives. The recent-die ring survives
+    either way — full die vectors are artifact-independent. Monitor
+    thread only. *)
+
+val note_error : t -> string -> unit
+(** Record a monitor-loop failure (counted in [monitor_errors], shown
+    as [last_error]) and republish the report. For the caller's
+    thread-level fail-safe around {!step}: the loop survives, the
+    operator sees it. Monitor thread only. *)

@@ -167,8 +167,20 @@ let do_reload t =
        swapped in, and in-flight requests finish on their snapshot *)
     (match Store.load path with
      | Ok artifact ->
-       let gen = (Atomic.get t.hot).gen + 1 in
-       Atomic.set t.hot (hot_of_artifact ~gen artifact);
+       (* compare-and-set retry: a SIGHUP reload on the main loop can
+          race the monitor thread's auto-reselect swap, and a plain
+          read-modify-write could mint duplicate generations or lose a
+          swap — the gen bump must be atomic for the client's
+          mid-stream generation-change warning to mean anything *)
+       let rec swap () =
+         let cur = Atomic.get t.hot in
+         if
+           not
+             (Atomic.compare_and_set t.hot cur
+                (hot_of_artifact ~gen:(cur.gen + 1) artifact))
+         then swap ()
+       in
+       swap ();
        (* monitor internals belong to the monitor thread; the swap path
           only raises a flag for it to re-anchor on its next step *)
        Atomic.set t.mon_resync true;
@@ -770,7 +782,22 @@ let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
         (Thread.create
            (fun () ->
              while not (Atomic.get t.stop_flag) do
-               monitor_step t ~now:(Unix.gettimeofday ());
+               (* thread-level fail-safe: an escaped exception must not
+                  silently kill the loop while the server still reports
+                  the monitor as armed — count it, tell the operator,
+                  keep monitoring *)
+               (match monitor_step t ~now:(Unix.gettimeofday ()) with
+                | () -> ()
+                | exception e ->
+                  let msg = Printexc.to_string e in
+                  (match t.mon with
+                   | Some mon -> Monitor.note_error mon msg
+                   | None -> ());
+                  tick t (fun c -> c.errors <- c.errors + 1);
+                  Printf.eprintf
+                    "pathsel serve: monitor step failed: %s (monitoring \
+                     continues)\n%!"
+                    msg);
                Thread.delay 0.05
              done)
            ())

@@ -44,21 +44,26 @@ type t = {
   mutable st : state;
 }
 
+let check_config config =
+  if config.window < 2 then invalid_arg "Drift: window must be >= 2";
+  if not (Float.is_finite config.drift && config.drift > 0.0) then
+    invalid_arg "Drift: drift threshold must be positive";
+  if (not (Float.is_finite config.warn)) || config.warn > config.drift then
+    invalid_arg "Drift: warn threshold must be finite and not exceed the \
+                 drift threshold";
+  if (not (Float.is_finite config.slack)) || config.slack < 0.0 then
+    invalid_arg "Drift: slack must be finite and >= 0";
+  if not (Float.is_finite config.var_ratio && config.var_ratio > 1.0) then
+    invalid_arg "Drift: var_ratio must exceed 1";
+  if config.max_consecutive_bad < 1 then
+    invalid_arg "Drift: max_consecutive_bad must be >= 1"
+
 let create ?(config = default_config) ~mean ~sigma () =
   if not (Float.is_finite mean) then
     invalid_arg "Drift.create: reference mean must be finite";
   if (not (Float.is_finite sigma)) || sigma < 0.0 then
     invalid_arg "Drift.create: reference sigma must be finite and >= 0";
-  if config.window < 2 then invalid_arg "Drift.create: window must be >= 2";
-  if not (Float.is_finite config.drift && config.drift > 0.0) then
-    invalid_arg "Drift.create: drift threshold must be positive";
-  if config.warn > config.drift then
-    invalid_arg "Drift.create: warn threshold must not exceed drift threshold";
-  if config.slack < 0.0 then invalid_arg "Drift.create: slack must be >= 0";
-  if config.var_ratio <= 1.0 then
-    invalid_arg "Drift.create: var_ratio must exceed 1";
-  if config.max_consecutive_bad < 1 then
-    invalid_arg "Drift.create: max_consecutive_bad must be >= 1";
+  check_config config;
   {
     cfg = config;
     mean0 = mean;

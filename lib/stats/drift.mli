@@ -39,6 +39,13 @@ type config = {
 
 val default_config : config
 
+val check_config : config -> unit
+(** Raises [Invalid_argument] on an invalid threshold set ([drift <= 0],
+    [warn > drift], [window < 2], [var_ratio <= 1], non-finite values,
+    [max_consecutive_bad < 1]). Exposed so callers that build a detector
+    {e later} (e.g. after a calibration phase) can fail fast at
+    configuration time instead of mid-stream. *)
+
 type t
 
 val create : ?config:config -> mean:float -> sigma:float -> unit -> t

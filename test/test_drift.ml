@@ -139,7 +139,14 @@ let test_create_validation () =
   rejects "var_ratio at one" (fun () ->
       Drift.create ~config:(cfg ~var_ratio:1.0 ()) ~mean:0.0 ~sigma:1.0 ());
   rejects "bad run of zero" (fun () ->
-      Drift.create ~config:(cfg ~max_bad:0 ()) ~mean:0.0 ~sigma:1.0 ())
+      Drift.create ~config:(cfg ~max_bad:0 ()) ~mean:0.0 ~sigma:1.0 ());
+  rejects "nan warn" (fun () ->
+      Drift.create ~config:(cfg ~warn:Float.nan ()) ~mean:0.0 ~sigma:1.0 ());
+  (* the standalone validator lets callers that defer detector creation
+     (calibration) fail at configuration time *)
+  match Drift.check_config (cfg ~warn:9.0 ~drift:8.0 ()) with
+  | () -> Alcotest.fail "check_config: expected Invalid_argument"
+  | exception Invalid_argument _ -> Drift.check_config (cfg ())
 
 let suites =
   [

@@ -153,6 +153,46 @@ let test_swapped_recalibrates () =
   | () -> Alcotest.fail "incompatible split must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* serve's reload path reports every swap back through [swapped] — when
+   the swap is the monitor's own re-selection landing, the post-reselect
+   cooldown must survive the resync instead of being erased by it *)
+let test_self_swap_keeps_cooldown () =
+  let t = create () in
+  calibrate t ~now:0.0;
+  Monitor.submit t (obs ~resid:1.0 99);
+  Monitor.step t ~now:10.0;
+  Alcotest.(check int) "reselect fired" 1 (Monitor.read t).Monitor.reselects;
+  (* the mon_resync round-trip: our own artifact landed *)
+  Monitor.swapped t ~r ~m;
+  calibrate t ~now:10.1;
+  Monitor.submit t (obs ~resid:1.0 100);
+  Monitor.step t ~now:10.5;
+  Alcotest.(check int) "cooldown survives own swap" 1
+    (Monitor.read t).Monitor.reselects;
+  Monitor.step t ~now:11.0;
+  Alcotest.(check int) "cooldown elapsed" 2 (Monitor.read t).Monitor.reselects
+
+let test_operator_swap_clears_backoff () =
+  let fail = ref true in
+  let reselect _ = if !fail then Error "boom" else Ok (r, m, 1.0) in
+  let t = create ~reselect () in
+  calibrate t ~now:0.0;
+  Monitor.submit t (obs ~resid:1.0 50);
+  Monitor.step t ~now:10.0;
+  Alcotest.(check bool) "backoff pending" true
+    ((Monitor.read t).Monitor.backoff_s > 0.0);
+  (* an operator SIGHUPs a fresh artifact in: pacing resets — the new
+     model deserves an ungated first attempt if it still drifts *)
+  Monitor.swapped t ~r ~m;
+  Alcotest.(check bool) "operator swap clears backoff" true
+    (Float.abs (Monitor.read t).Monitor.backoff_s < 1e-9);
+  fail := false;
+  calibrate t ~now:10.1;
+  Monitor.submit t (obs ~resid:1.0 51);
+  Monitor.step t ~now:10.2;
+  Alcotest.(check int) "retry not gated after operator swap" 1
+    (Monitor.read t).Monitor.reselects
+
 let test_pending_cap_drops () =
   let cfg = { mon_cfg with Monitor.pending_cap = 2 } in
   let t = create ~config:cfg () in
@@ -160,7 +200,14 @@ let test_pending_cap_drops () =
   Monitor.step t ~now:0.0;
   let rep = Monitor.read t in
   Alcotest.(check int) "cap admits two" 2 rep.Monitor.observed;
-  Alcotest.(check int) "overflow counted, not blocked" 3 rep.Monitor.dropped
+  Alcotest.(check int) "overflow counted, not blocked" 3 rep.Monitor.dropped;
+  (* the drain released exactly the admitted slots: the next batch is
+     admitted up to the cap again, not against a stale count *)
+  for i = 6 to 10 do Monitor.submit t (obs i) done;
+  Monitor.step t ~now:1.0;
+  let rep = Monitor.read t in
+  Alcotest.(check int) "slots released after drain" 4 rep.Monitor.observed;
+  Alcotest.(check int) "second overflow counted" 6 rep.Monitor.dropped
 
 let test_malformed_observations () =
   let t = create () in
@@ -195,6 +242,22 @@ let test_create_validation () =
   rejects "nonpositive cooldown" (fun () ->
       Monitor.create
         ~config:{ mon_cfg with Monitor.cooldown = 0.0 }
+        ~n_paths ~r ~m ~reselect ());
+  (* detector thresholds are validated at startup, not when calibration
+     completes mid-stream on the monitor thread *)
+  rejects "warn above drift threshold" (fun () ->
+      Monitor.create
+        ~config:
+          { mon_cfg with
+            Monitor.drift =
+              { mon_cfg.Monitor.drift with Stats.Drift.warn = 9.0; drift = 8.0 } }
+        ~n_paths ~r ~m ~reselect ());
+  rejects "nonpositive drift threshold" (fun () ->
+      Monitor.create
+        ~config:
+          { mon_cfg with
+            Monitor.drift =
+              { mon_cfg.Monitor.drift with Stats.Drift.warn = 0.0; drift = 0.0 } }
         ~n_paths ~r ~m ~reselect ())
 
 let suites =
@@ -207,6 +270,8 @@ let suites =
           ("drift triggers background reselect", test_drift_triggers_reselect);
           ("failed reselect backs off exponentially", test_failure_backoff);
           ("artifact swap recalibrates", test_swapped_recalibrates);
+          ("own swap keeps the reselect cooldown", test_self_swap_keeps_cooldown);
+          ("operator swap clears the backoff", test_operator_swap_clears_backoff);
           ("pending cap drops instead of blocking", test_pending_cap_drops);
           ("malformed observations are contained", test_malformed_observations);
           ("create validates config", test_create_validation);
