@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 doc clean
+.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 doc clean
 
 all: build
 
@@ -56,6 +56,13 @@ bench-e16:
 bench-e17:
 	dune exec bench/main.exe -- e17
 
+# E18 decision workloads: importance-sampled yield estimation vs the
+# brute-force Monte-Carlo reference, per-die tunable-buffer
+# configuration, and both served live through the chaos proxy; emits
+# BENCH_e18.json in the repo root.
+bench-e18:
+	dune exec bench/main.exe -- e18
+
 # Scaled-down E15 as a CI gate (< 30s): fails if any parallel kernel is
 # not bit-identical to serial, or (on hosts with >= 2 cores) if the
 # 4-domain matmul speedup falls below 2x. Single-core hosts check
@@ -75,6 +82,13 @@ chaos-smoke:
 # server dies.
 drift-smoke:
 	dune exec bench/main.exe -- --drift-smoke
+
+# Quick E18 as a CI gate: fails if importance sampling disagrees with
+# brute-force MC beyond 3 combined standard errors, beats it by less
+# than 50x in samples at equal confidence, or any served yield/tune
+# answer is not bit-identical to the local recompute.
+yield-smoke:
+	dune exec bench/main.exe -- --yield-smoke
 
 doc:
 	dune build @doc

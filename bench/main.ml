@@ -187,13 +187,16 @@ let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
     ( "e17",
       "E17 -- self-healing soak: drift detection and auto re-selection",
       fun p -> ignore (Experiments.Drift_exp.run ~out:"BENCH_e17.json" p) );
+    ( "e18",
+      "E18 -- decision workloads: importance-sampled yield + per-die tuning",
+      fun p -> ignore (Experiments.Decision_exp.run ~out:"BENCH_e18.json" p) );
     ("micro", "micro-benchmarks", fun _ -> run_micro ());
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [%s|all] [--full] [--smoke] [--chaos-smoke] \
-     [--drift-smoke] [--domains N]\n"
+     [--drift-smoke] [--yield-smoke] [--domains N]\n"
     (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
   exit 1
 
@@ -203,11 +206,12 @@ let () =
   let smoke = List.mem "--smoke" args in
   let chaos_smoke = List.mem "--chaos-smoke" args in
   let drift_smoke = List.mem "--drift-smoke" args in
+  let yield_smoke = List.mem "--yield-smoke" args in
   let args =
     List.filter
       (fun a ->
         a <> "--full" && a <> "--smoke" && a <> "--chaos-smoke"
-        && a <> "--drift-smoke")
+        && a <> "--drift-smoke" && a <> "--yield-smoke")
       args
   in
   let args =
@@ -242,6 +246,13 @@ let () =
   if drift_smoke then begin
     let r = Experiments.Drift_exp.run profile in
     exit (if r.Experiments.Drift_exp.ok then 0 else 1)
+  end;
+  (* [--yield-smoke] is the CI gate for the decision ops: the quick
+     E18 — IS must agree with brute-force MC within 3 combined SE at
+     >= 50x fewer samples, and every served answer must be bit-exact *)
+  if yield_smoke then begin
+    let r = Experiments.Decision_exp.run profile in
+    exit (if r.Experiments.Decision_exp.ok then 0 else 1)
   end;
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;

@@ -663,6 +663,50 @@ let serve_cmd =
           $ monitor $ drift_warn $ drift_threshold $ calibrate $ min_dies
           $ reselect_cooldown)
 
+(* one die per line, comma- or space-separated; empty, nan or null
+   marks a missing entry — shared by client predict/observe and tune *)
+let parse_batch text =
+  let parse_cell i j cell =
+    match String.lowercase_ascii (String.trim cell) with
+    | "" | "nan" | "null" -> Float.nan
+    | s ->
+      (match float_of_string_opt s with
+       | Some v -> v
+       | None ->
+         Core.Errors.raise_error
+           (Core.Errors.Bad_data
+              (Printf.sprintf "die %d entry %d: %S is not a number" i j s)))
+  in
+  let rows =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+    |> List.mapi (fun i line ->
+           (* comma-separated keeps empty cells (= missing measurement);
+              whitespace-separated collapses runs of separators *)
+           (if String.contains line ',' then String.split_on_char ',' line
+            else
+              String.split_on_char ' '
+                (String.map (fun c -> if c = '\t' then ' ' else c) line)
+              |> List.filter (fun c -> String.trim c <> ""))
+           |> List.mapi (fun j cell -> parse_cell i j cell)
+           |> Array.of_list)
+  in
+  if rows = [] then
+    Core.Errors.raise_error (Core.Errors.Bad_data "no dies in the input");
+  let widths = List.map Array.length rows in
+  (match widths with
+   | w :: rest when List.exists (fun w' -> w' <> w) rest ->
+     Core.Errors.raise_error (Core.Errors.Bad_data "ragged measurement rows")
+   | _ -> ());
+  Linalg.Mat.of_arrays (Array.of_list rows)
+
+let read_file_text = function
+  | "-" -> In_channel.input_all stdin
+  | path ->
+    (try In_channel.with_open_text path In_channel.input_all
+     with Sys_error msg -> Core.Errors.raise_error (Core.Errors.Io { file = path; msg }))
+
 let client_cmd =
   let op =
     Arg.(required & pos 0 (some (enum
@@ -690,42 +734,6 @@ let client_cmd =
          & info [ "robust" ]
              ~doc:"Flag the batch as dirty: route through the MAD screen and the \
                    fault-tolerant reduced-subset predictor.")
-  in
-  let parse_batch text =
-    let parse_cell i j cell =
-      match String.lowercase_ascii (String.trim cell) with
-      | "" | "nan" | "null" -> Float.nan
-      | s ->
-        (match float_of_string_opt s with
-         | Some v -> v
-         | None ->
-           Core.Errors.raise_error
-             (Core.Errors.Bad_data
-                (Printf.sprintf "die %d entry %d: %S is not a number" i j s)))
-    in
-    let rows =
-      String.split_on_char '\n' text
-      |> List.map String.trim
-      |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
-      |> List.mapi (fun i line ->
-             (* comma-separated keeps empty cells (= missing measurement);
-                whitespace-separated collapses runs of separators *)
-             (if String.contains line ',' then String.split_on_char ',' line
-              else
-                String.split_on_char ' '
-                  (String.map (fun c -> if c = '\t' then ' ' else c) line)
-                |> List.filter (fun c -> String.trim c <> ""))
-             |> List.mapi (fun j cell -> parse_cell i j cell)
-             |> Array.of_list)
-    in
-    if rows = [] then
-      Core.Errors.raise_error (Core.Errors.Bad_data "no dies in the input");
-    let widths = List.map Array.length rows in
-    (match widths with
-     | w :: rest when List.exists (fun w' -> w' <> w) rest ->
-       Core.Errors.raise_error (Core.Errors.Bad_data "ragged measurement rows")
-     | _ -> ());
-    Linalg.Mat.of_arrays (Array.of_list rows)
   in
   let retries =
     Arg.(value & opt int Serve.Client.default_retry.Serve.Client.attempts
@@ -894,6 +902,235 @@ let chaos_cmd =
     Term.(const run $ runtime_arg $ socket_arg $ port_arg $ upstream_socket
           $ upstream_port $ spec_arg $ seed_arg $ signal_pid)
 
+(* ---------------- decision ops: yield / tune ---------------- *)
+
+let yield_cmd =
+  let source =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SOURCE"
+             ~doc:"A selection artifact (see $(b,pathsel save)), a .bench file, \
+                   or a preset name. Omitted: a default synthetic circuit.")
+  in
+  let samples =
+    Arg.(value & opt int 16_384
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples drawn.")
+  in
+  let brute =
+    Arg.(value & flag
+         & info [ "brute-force" ]
+             ~doc:"Plain Monte Carlo instead of the mean-shifted importance \
+                   sampler (same seed = same underlying draw sequence).")
+  in
+  let t_cons_opt =
+    Arg.(value & opt (some float) None
+         & info [ "t-cons" ] ~docv:"PS"
+             ~doc:"Timing constraint to estimate against. Default: the \
+                   source's own constraint.")
+  in
+  let target =
+    Arg.(value & opt (some float) None
+         & info [ "target-pfail" ] ~docv:"P"
+             ~doc:"Calibrate the constraint so the union-bound failure \
+                   probability equals P (mutually exclusive with --t-cons).")
+  in
+  let run () source scale seed levels random_boost tscale max_paths lenient
+      samples brute t_cons_opt target =
+   handle @@ fun () ->
+    let a, mu, source_t_cons =
+      let from_circuit () =
+        let setup =
+          prepare ~lenient ~circuit:source ~scale ~seed ~levels ~random_boost
+            ~tscale ~max_paths ~liberty:None ()
+        in
+        let pool = setup.Core.Pipeline.pool in
+        ( Timing.Paths.a_mat pool,
+          Timing.Paths.mu_paths pool,
+          setup.Core.Pipeline.t_cons )
+      in
+      match source with
+      | Some path when Sys.file_exists path && not (Sys.is_directory path) ->
+        (match Store.load path with
+         | Ok art ->
+           Printf.printf "artifact: %d paths, %d variables, T_cons %.1f ps\n"
+             art.Store.n_paths art.Store.n_vars art.Store.t_cons;
+           (art.Store.a_mat, art.Store.mu, art.Store.t_cons)
+         | Error (Core.Errors.Io _ as e) -> Core.Errors.raise_error e
+         | Error _ -> from_circuit () (* not an artifact: parse as netlist *))
+      | _ -> from_circuit ()
+    in
+    let t_cons =
+      match (t_cons_opt, target) with
+      | Some _, Some _ ->
+        Core.Errors.raise_error
+          (Core.Errors.Invalid_input
+             "--t-cons and --target-pfail are mutually exclusive")
+      | Some t, None -> t
+      | None, Some p ->
+        let t = Yield.calibrate_t_cons ~a ~mu ~target:p in
+        Printf.printf "calibrated T_cons %.2f ps (union-bound P(fail) = %g)\n"
+          t p;
+        t
+      | None, None -> source_t_cons
+    in
+    let est =
+      let rng = Rng.create seed in
+      if brute then Yield.brute_force ~a ~mu ~t_cons ~rng ~samples ()
+      else Yield.importance ~a ~mu ~t_cons ~rng ~samples ()
+    in
+    Printf.printf "%s: %d samples at T_cons %.2f ps\n"
+      (if brute then "brute-force Monte Carlo" else "importance sampling")
+      samples t_cons;
+    Printf.printf "P(fail) = %.6g +- %.2g  (yield %.6f)\n" est.Yield.p_fail
+      est.Yield.std_err (Yield.yield_of est);
+    Printf.printf
+      "self-normalized %.6g +- %.2g | ess %.0f | %d hits | shift |x*| %.2f \
+       (dominant path %d)\n"
+      est.Yield.sn_p_fail est.Yield.sn_std_err est.Yield.ess est.Yield.hits
+      est.Yield.shift_norm est.Yield.dominant;
+    let red = Yield.sample_reduction est in
+    if Float.is_finite red && not brute then
+      Printf.printf
+        "plain MC needs %.0fx the samples for this standard error\n" red
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:"Estimate the timing-yield / failure probability of a path pool \
+             with mean-shifted importance sampling (or $(b,--brute-force) \
+             Monte Carlo), from a saved artifact or a circuit.")
+    Term.(const run $ runtime_arg $ source $ scale_arg $ seed_arg $ levels_arg
+          $ random_boost_arg $ tscale_arg $ max_paths_arg $ lenient_arg
+          $ samples $ brute $ t_cons_opt $ target)
+
+let tune_cmd =
+  let buffers_arg =
+    Arg.(required & opt (some string) None
+         & info [ "buffers" ] ~docv:"FILE"
+             ~doc:"Tunable-buffer description, JSON: a list (or an object with \
+                   a $(b,buffers) member) of \
+                   {\"paths\": [..], \"levels\": [{\"offset_ps\": .., \
+                   \"cost\": ..}, ..]} objects. $(b,-) reads stdin.")
+  in
+  let t_clk_arg =
+    Arg.(value & opt (some float) None
+         & info [ "t-clk" ] ~docv:"PS"
+             ~doc:"Clock target each die must meet. Default: the artifact's \
+                   timing constraint.")
+  in
+  let data =
+    Arg.(value & opt (some string) None
+         & info [ "data" ] ~docv:"FILE"
+             ~doc:"Measured representative-path delays, one die per line (the \
+                   $(b,client --data) format); unmeasured paths are predicted \
+                   with the artifact's Theorem-2 predictor. $(b,-) reads stdin.")
+  in
+  let delays_arg =
+    Arg.(value & opt (some string) None
+         & info [ "delays" ] ~docv:"FILE"
+             ~doc:"Full per-die path delays (all paths, one die per line) — \
+                   skips prediction. Mutually exclusive with --data.")
+  in
+  let run () path buffers_file t_clk data delays_file =
+   handle @@ fun () ->
+    let art =
+      match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
+    in
+    let n_paths = art.Store.n_paths in
+    let buffers =
+      let j =
+        match Serve.Wire.parse (String.trim (read_file_text buffers_file)) with
+        | Ok j -> (match Serve.Wire.member "buffers" j with Some b -> b | None -> j)
+        | Error msg ->
+          Core.Errors.raise_error
+            (Core.Errors.Bad_data ("buffers: " ^ msg))
+      in
+      match Serve.buffers_of_json ~n_paths j with
+      | Ok b -> b
+      | Error msg ->
+        Core.Errors.raise_error (Core.Errors.Bad_data ("buffers: " ^ msg))
+    in
+    let t_clk = Option.value ~default:art.Store.t_cons t_clk in
+    let full =
+      match (delays_file, data) with
+      | Some _, Some _ ->
+        Core.Errors.raise_error
+          (Core.Errors.Invalid_input "--data and --delays are mutually exclusive")
+      | Some f, None ->
+        let d = parse_batch (read_file_text f) in
+        let _, c = Linalg.Mat.dims d in
+        if c <> n_paths then
+          Core.Errors.raise_error
+            (Core.Errors.Bad_data
+               (Printf.sprintf "--delays rows have %d entries; artifact has %d paths"
+                  c n_paths));
+        d
+      | None, Some f ->
+        let measured = parse_batch (read_file_text f) in
+        let p = Store.predictor art in
+        let rep = Core.Predictor.rep_indices p in
+        let rem = Core.Predictor.rem_indices p in
+        let n_dies, c = Linalg.Mat.dims measured in
+        if c <> Array.length rep then
+          Core.Errors.raise_error
+            (Core.Errors.Bad_data
+               (Printf.sprintf "--data rows have %d entries; artifact measures %d paths"
+                  c (Array.length rep)));
+        let pred = Core.Predictor.predict_all p ~measured in
+        let scattered = Array.make_matrix n_dies n_paths 0.0 in
+        for i = 0 to n_dies - 1 do
+          Array.iteri
+            (fun j q -> scattered.(i).(q) <- Linalg.Mat.get measured i j)
+            rep;
+          Array.iteri
+            (fun j q -> scattered.(i).(q) <- Linalg.Mat.get pred i j)
+            rem
+        done;
+        Linalg.Mat.of_arrays scattered
+      | None, None ->
+        Core.Errors.raise_error
+          (Core.Errors.Invalid_input
+             "tune needs --data FILE (measured representatives) or --delays \
+              FILE (full per-die delays)")
+    in
+    let n_dies, _ = Linalg.Mat.dims full in
+    Printf.printf "tune: %d dies against t_clk %.2f ps (%d buffers)\n" n_dies
+      t_clk (Array.length buffers);
+    let infeasible = ref 0 in
+    let total_cost = ref 0.0 in
+    for i = 0 to n_dies - 1 do
+      match
+        Tune.solve { Tune.delays = Linalg.Mat.row full i; t_clk; buffers }
+      with
+      | Tune.Feasible asg ->
+        total_cost := !total_cost +. asg.Tune.cost;
+        Printf.printf "die %d: cost %.3f, slack %.2f ps, levels [%s]%s\n" i
+          asg.Tune.cost asg.Tune.slack_ps
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int asg.Tune.levels)))
+          (if asg.Tune.exact then "" else " (node cap hit; best found)")
+      | Tune.Infeasible inf ->
+        incr infeasible;
+        Printf.printf "die %d: INFEASIBLE (path %d misses by %.2f ps at \
+                       maximum offsets)\n"
+          i inf.Tune.path inf.Tune.deficit_ps
+    done;
+    let tuned = n_dies - !infeasible in
+    Printf.printf "%d/%d dies tunable%s\n" tuned n_dies
+      (if tuned > 0 then
+         Printf.sprintf ", mean cost %.3f" (!total_cost /. float_of_int tuned)
+       else "");
+    (* mirror the serving contract: any infeasible die is the typed
+       sysexits data error, not a silent partial success *)
+    if !infeasible > 0 then Stdlib.exit 65
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Per-die tunable-buffer configuration: the minimum-cost discrete \
+             level assignment meeting a clock target, from a saved artifact \
+             plus measured (or full) die delays. Exits 65 when any die is \
+             infeasible even at maximum offsets.")
+    Term.(const run $ runtime_arg $ artifact_pos $ buffers_arg $ t_clk_arg
+          $ data $ delays_arg)
+
 (* ---------------- experiment wrappers ---------------- *)
 
 let profile_arg =
@@ -944,7 +1181,8 @@ let main =
        ~doc:"Representative path selection for post-silicon timing prediction \
              (Xie & Davoodi, DAC 2010).")
     [ generate_cmd; select_cmd; hybrid_cmd; spectrum_cmd; sdf_cmd; diagnose_cmd;
-      save_cmd; inspect_cmd; serve_cmd; client_cmd; chaos_cmd;
+      save_cmd; inspect_cmd; serve_cmd; client_cmd; chaos_cmd; yield_cmd;
+      tune_cmd;
       table1_cmd; table2_cmd; figure2_cmd; guardband_cmd; ablation_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

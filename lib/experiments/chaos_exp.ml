@@ -80,8 +80,9 @@ let int_stat resp key =
 let json_of_result r =
   let open Core.Report in
   Obj
-    [
-      ("experiment", String "E16");
+    ([ ("experiment", String "E16") ]
+    @ Host.fields ()
+    @ [
       ("bench", String r.bench);
       ("faults", String r.faults);
       ("requests_faulted", Int r.requests_faulted);
@@ -103,7 +104,7 @@ let json_of_result r =
       ("proxy_corrupted", Int r.proxy_corrupted);
       ("proxy_stalled", Int r.proxy_stalled);
       ("ok", Bool r.ok);
-    ]
+    ])
 
 let run ?(oc = stdout) ?out profile =
   let quick = profile.Profile.name <> "full" in

@@ -69,18 +69,17 @@ let string_member resp key =
 
 let json_of_result r =
   let open Core.Report in
-  let cores = Par.Pool.available_cores () in
   let timing_note =
-    if cores = 1 then
+    if Host.cores () = 1 then
       "1-core host (cf. BENCH_e15): reselect_ms is a serial upper bound; \
        detection_dies and the error gates are core-independent"
     else "multi-core host"
   in
   Obj
-    [
-      ("experiment", String "E17");
+    ([ ("experiment", String "E17") ]
+    @ Host.fields ()
+    @ [
       ("bench", String r.bench);
-      ("cores_available", Int cores);
       ("timing_note", String timing_note);
       ("n_paths", Int r.n_paths);
       ("shift", String r.shift);
@@ -100,7 +99,7 @@ let json_of_result r =
       ("request_failures", Int r.request_failures);
       ("server_exit_ok", Bool r.server_exit_ok);
       ("ok", Bool r.ok);
-    ]
+    ])
 
 let run ?(oc = stdout) ?out profile =
   let quick = profile.Profile.name <> "full" in

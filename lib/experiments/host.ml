@@ -1,0 +1,8 @@
+let cores () = Par.Pool.available_cores ()
+
+let fields () =
+  let c = cores () in
+  [
+    ("cores_available", Core.Report.Int c);
+    ("single_core_caveat", Core.Report.Bool (c = 1));
+  ]

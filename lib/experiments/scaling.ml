@@ -261,8 +261,9 @@ let run ?(oc = stdout) ?out ?(smoke = false) profile =
      in
      write_file path
        (Obj
-          [
-            ("experiment", String "E15");
+          ([ ("experiment", String "E15") ]
+          @ Host.fields ()
+          @ [
             ("profile", String profile.Profile.name);
             ("cores_available", Int result.cores);
             ("domain_counts", List (List.map (fun d -> Int d) result.counts));
@@ -297,7 +298,7 @@ let run ?(oc = stdout) ?out ?(smoke = false) profile =
             ("equivalence_ok", Bool result.equivalence_ok);
             ("speedup_gate_active", Bool result.speedup_gate_active);
             ("ok", Bool result.ok);
-          ]);
+          ]));
      Printf.fprintf oc "wrote %s\n" path;
      flush oc);
   result

@@ -54,8 +54,9 @@ let bits_equal m1 m2 =
 let json_of_result r =
   let open Core.Report in
   Obj
-    [
-      ("experiment", String "E14");
+    ([ ("experiment", String "E14") ]
+    @ Host.fields ()
+    @ [
       ("bench", String r.bench);
       ("n_paths", Int r.n_paths);
       ("n_rep", Int r.n_rep);
@@ -76,7 +77,7 @@ let json_of_result r =
                    ("socket_round_trip_ms", Float b.socket_round_trip_ms);
                  ])
              r.rows) );
-    ]
+    ])
 
 let run ?(oc = stdout) ?out profile =
   let bench_name = "s1423" in

@@ -7,6 +7,7 @@
 type config = {
   calibrate : int;
   drift : Stats.Drift.config;
+  max_groups : int;
   min_dies : int;
   buffer : int;
   refit_min : int;
@@ -21,6 +22,7 @@ let default_config =
   {
     calibrate = 32;
     drift = Stats.Drift.default_config;
+    max_groups = 64;
     min_dies = 64;
     buffer = 256;
     refit_min = 16;
@@ -36,6 +38,7 @@ type obs = {
   truth : float array;
   full : float array;
   resid : float;
+  wafer : string;
 }
 
 type report = {
@@ -47,6 +50,8 @@ type report = {
   cusum : float;
   var_ratio : float;
   quarantined : bool;
+  groups : int;
+  group_overflow : int;
   monitor_errors : int;
   refit_dies : int;
   refit_resyncs : int;
@@ -67,6 +72,8 @@ let initial_report =
     cusum = 0.0;
     var_ratio = Float.nan;
     quarantined = false;
+    groups = 0;
+    group_overflow = 0;
     monitor_errors = 0;
     refit_dies = 0;
     refit_resyncs = 0;
@@ -90,9 +97,7 @@ type t = {
   (* monitor-thread state *)
   mutable r : int;
   mutable m : int;
-  mutable detector : Stats.Drift.t option;
-  calib : float array; (* first healthy residuals, for the reference *)
-  mutable calib_n : int;
+  grouped : Stats.Drift.Grouped.t; (* per-wafer detectors, lazily keyed *)
   mutable refit : Core.Refit.t;
   ring : float array array; (* recent full dies, circular *)
   mutable ring_n : int; (* total dies ever accepted into the ring *)
@@ -117,6 +122,7 @@ let check_config cfg =
      startup rather than kill the monitor mid-stream *)
   Stats.Drift.check_config cfg.drift;
   if cfg.calibrate < 2 then invalid_arg "Monitor: calibrate < 2";
+  if cfg.max_groups < 1 then invalid_arg "Monitor: max_groups < 1";
   if cfg.min_dies < 1 then invalid_arg "Monitor: min_dies < 1";
   if cfg.buffer < cfg.min_dies then invalid_arg "Monitor: buffer < min_dies";
   if cfg.refit_min < 1 then invalid_arg "Monitor: refit_min < 1";
@@ -140,9 +146,9 @@ let create ?(config = default_config) ~n_paths ~r ~m ~reselect () =
     coeffs = Atomic.make None;
     r;
     m;
-    detector = None;
-    calib = Array.make config.calibrate 0.0;
-    calib_n = 0;
+    grouped =
+      Stats.Drift.Grouped.create ~config:config.drift
+        ~calibrate:config.calibrate ~max_groups:config.max_groups ();
     refit =
       Core.Refit.create ~ridge:config.refit_ridge
         ~resync_every:config.refit_resync_every ~r ~m ();
@@ -182,29 +188,22 @@ let read t = Atomic.get t.published
 let coefficients t = Atomic.get t.coeffs
 
 let publish t =
-  let detector_fields =
-    match t.detector with
-    | None -> (true, Stats.Drift.Healthy, 0.0, Float.nan, false)
-    | Some d ->
-      ( false,
-        Stats.Drift.state d,
-        Stats.Drift.cusum d,
-        (match Stats.Drift.variance_ratio d with
-         | Some v -> v
-         | None -> Float.nan),
-        Stats.Drift.quarantined d )
-  in
-  let calibrating, state, cusum, var_ratio, quarantined = detector_fields in
+  let g = t.grouped in
   Atomic.set t.published
     {
       observed = t.observed;
       skipped = t.skipped;
       dropped = Atomic.get t.dropped;
-      calibrating;
-      state;
-      cusum;
-      var_ratio;
-      quarantined;
+      calibrating = Stats.Drift.Grouped.calibrating g;
+      state = Stats.Drift.Grouped.state g;
+      cusum = Stats.Drift.Grouped.cusum g;
+      var_ratio =
+        (match Stats.Drift.Grouped.variance_ratio g with
+         | Some v -> v
+         | None -> Float.nan);
+      quarantined = Stats.Drift.Grouped.quarantined g;
+      groups = Stats.Drift.Grouped.group_count g;
+      group_overflow = Stats.Drift.Grouped.overflowed g;
       monitor_errors = t.errors;
       refit_dies = Core.Refit.count t.refit;
       refit_resyncs = Core.Refit.resyncs t.refit;
@@ -225,8 +224,7 @@ let restart t ~r ~m =
     invalid_arg "Monitor: swapped artifact has an incompatible path split";
   t.r <- r;
   t.m <- m;
-  t.detector <- None;
-  t.calib_n <- 0;
+  Stats.Drift.Grouped.restart t.grouped;
   t.refit <-
     Core.Refit.create ~ridge:t.cfg.refit_ridge
       ~resync_every:t.cfg.refit_resync_every ~r ~m ();
@@ -248,23 +246,11 @@ let note_error t msg =
   t.last_error <- msg;
   publish t
 
-let feed_detector t resid =
-  match t.detector with
-  | Some d -> ignore (Stats.Drift.observe d resid)
-  | None ->
-    (* calibration: only finite residuals shape the reference *)
-    if Float.is_finite resid then begin
-      t.calib.(t.calib_n) <- resid;
-      t.calib_n <- t.calib_n + 1;
-      if t.calib_n >= t.cfg.calibrate then begin
-        let sample = Array.sub t.calib 0 t.calib_n in
-        t.detector <-
-          Some
-            (Stats.Drift.create ~config:t.cfg.drift
-               ~mean:(Stats.Descriptive.mean sample)
-               ~sigma:(Stats.Descriptive.stddev sample) ())
-      end
-    end
+let feed_detector t o =
+  (* per-wafer calibration + detection; flat streams (no wafer id) all
+     land in the default group, which behaves like the old single
+     detector *)
+  ignore (Stats.Drift.Grouped.observe t.grouped ~group:o.wafer o.resid)
 
 let ingest t o =
   if
@@ -279,12 +265,12 @@ let ingest t o =
          still goes to the detector, whose quarantine logic owns
          pathological input *)
       t.skipped <- t.skipped + 1;
-      feed_detector t o.resid
+      feed_detector t o
     | true ->
       t.observed <- t.observed + 1;
       t.ring.(t.ring_n mod t.cfg.buffer) <- Array.copy o.full;
       t.ring_n <- t.ring_n + 1;
-      feed_detector t o.resid
+      feed_detector t o
     | exception Invalid_argument _ ->
       (* the fail-safe: a malformed observation is dropped and counted;
          it must never take the monitor (let alone the server) down *)
@@ -298,14 +284,7 @@ let recent_dies t =
       t.ring.((base + i) mod t.cfg.buffer).(j))
 
 let maybe_reselect t ~now =
-  let drifted =
-    match t.detector with
-    | Some d ->
-      (match Stats.Drift.state d with
-       | Stats.Drift.Drifted -> not (Stats.Drift.quarantined d)
-       | Stats.Drift.Healthy | Stats.Drift.Warning -> false)
-    | None -> false
-  in
+  let drifted = Stats.Drift.Grouped.drifted_active t.grouped in
   if
     drifted
     && Int.min t.ring_n t.cfg.buffer >= t.cfg.min_dies

@@ -22,9 +22,14 @@
 
 type config = {
   calibrate : int;
-      (** Healthy residuals used to estimate the detector's reference
-          mean/sigma before monitoring starts. Default [32]. *)
-  drift : Stats.Drift.config;  (** Detector thresholds. *)
+      (** Healthy residuals used to estimate a detector's reference
+          mean/sigma before monitoring starts — per wafer group.
+          Default [32]. *)
+  drift : Stats.Drift.config;  (** Detector thresholds (every group). *)
+  max_groups : int;
+      (** Bound on the per-wafer detector table
+          ({!Stats.Drift.Grouped}); unknown wafers past the cap share
+          the default group. Default [64]. *)
   min_dies : int;
       (** Recent dies required before a re-selection may run.
           Default [64]. *)
@@ -59,6 +64,9 @@ type obs = {
   resid : float;
       (** prediction residual for this die (mean over predicted paths),
           computed against the snapshot that served it *)
+  wafer : string;
+      (** wafer/lot id keying drift calibration; [""] (the default
+          group) for flat streams that don't distinguish wafers *)
 }
 
 (** Immutable stats snapshot, refreshed after every {!step}. *)
@@ -66,11 +74,15 @@ type report = {
   observed : int;  (** dies accepted into the stream *)
   skipped : int;  (** dies rejected (shape mismatch / non-finite) *)
   dropped : int;  (** submissions lost to a full queue *)
-  calibrating : bool;
-  state : Stats.Drift.state;
-  cusum : float;  (** 0 while calibrating *)
-  var_ratio : float;  (** [nan] until the window fills *)
-  quarantined : bool;
+  calibrating : bool;  (** no wafer group has finished calibration *)
+  state : Stats.Drift.state;  (** worst state across wafer groups *)
+  cusum : float;  (** max across groups; 0 while calibrating *)
+  var_ratio : float;  (** max across groups; [nan] until a window fills *)
+  quarantined : bool;  (** some group's detector quarantined itself *)
+  groups : int;  (** wafer groups tracked (the default group counts) *)
+  group_overflow : int;
+      (** observations folded into the default group because the wafer
+          table was full *)
   monitor_errors : int;
       (** fail-safe hits: malformed observations dropped, plus monitor
           loop failures recorded via {!note_error} *)

@@ -67,6 +67,9 @@ let latency_window = 4096
 type counters = {
   mutable requests : int;
   mutable predicted : int;        (* dies *)
+  mutable yields : int;           (* yield estimates served *)
+  mutable tuned : int;            (* dies configured by the tune op *)
+  mutable tune_infeasible : int;  (* tune requests refused: timing unmet *)
   mutable errors : int;
   mutable shed : int;             (* connections refused with "overloaded" *)
   mutable timeouts : int;         (* request deadlines expired (read or write) *)
@@ -132,6 +135,9 @@ let create_raw ?(config = default_config) ?reload_from artifact =
       {
         requests = 0;
         predicted = 0;
+        yields = 0;
+        tuned = 0;
+        tune_infeasible = 0;
         errors = 0;
         shed = 0;
         timeouts = 0;
@@ -362,6 +368,8 @@ let monitor_fields t =
             ("cusum", Wire.Float r.Monitor.cusum);
             ("var_ratio", Wire.Float r.Monitor.var_ratio);
             ("quarantined", Wire.Bool r.Monitor.quarantined);
+            ("groups", Wire.Int r.Monitor.groups);
+            ("group_overflow", Wire.Int r.Monitor.group_overflow);
             ("monitor_errors", Wire.Int r.Monitor.monitor_errors);
             ("refit_dies", Wire.Int r.Monitor.refit_dies);
             ("refit_resyncs", Wire.Int r.Monitor.refit_resyncs);
@@ -382,6 +390,9 @@ let handle_stats t =
     [
       ("requests", Wire.Int c.requests);
       ("dies_predicted", Wire.Int c.predicted);
+      ("yield_estimates", Wire.Int c.yields);
+      ("dies_tuned", Wire.Int c.tuned);
+      ("tune_infeasible", Wire.Int c.tune_infeasible);
       ("errors", Wire.Int c.errors);
       ("shed", Wire.Int c.shed);
       ("timeouts", Wire.Int c.timeouts);
@@ -505,6 +516,13 @@ let handle_observe t hot req =
           else if n_dies = 0 then
             error_response "observe: empty batch"
           else begin
+            (* optional wafer/lot id keys per-group drift calibration;
+               absent (or non-string) means the flat default group *)
+            let wafer =
+              match Wire.member "wafer" req with
+              | Some (Wire.String w) -> w
+              | Some _ | None -> ""
+            in
             (* the MAD screen + missing check keep corrupted dies out of
                the refit/detector stream; they are counted, not served *)
             let screen = Core.Robust.screen hot.robust ~measured in
@@ -539,6 +557,7 @@ let handle_observe t hot req =
                     truth = t_row;
                     full;
                     resid = !resid /. float_of_int n_rem;
+                    wafer;
                   }
               end
             done;
@@ -549,6 +568,260 @@ let handle_observe t hot req =
                 ("screened", Wire.Int (n_dies - !queued));
               ]
           end))
+
+(* ------------------------------------------------------------------ *)
+(* Decision ops: yield estimation and per-die tuning *)
+
+(* a yield estimate is one dense pass per sample block over the full
+   sensitivity matrix; the cap keeps a single request's compute bounded
+   the way max_batch bounds predict *)
+let max_yield_samples = 1 lsl 20
+
+let handle_yield t hot req =
+  let art = hot.artifact in
+  let bad msg = error_response ("yield: " ^ msg) in
+  let int_field name default =
+    match Wire.member name req with
+    | Some (Wire.Int n) -> Ok n
+    | Some _ -> Error (Printf.sprintf "%S must be an integer" name)
+    | None -> Ok default
+  in
+  match (int_field "samples" 4096, int_field "seed" 1) with
+  | Error msg, _ | _, Error msg -> bad msg
+  | Ok samples, Ok seed ->
+    if samples < 2 || samples > max_yield_samples then
+      bad (Printf.sprintf "\"samples\" must be in [2, %d]" max_yield_samples)
+    else begin
+      let t_cons =
+        match Wire.member "t_cons" req with
+        | None -> Some art.Store.t_cons
+        | Some v -> Wire.to_float v
+      in
+      match t_cons with
+      | None -> bad "\"t_cons\" must be a number"
+      | Some t_cons when not (Float.is_finite t_cons) ->
+        bad "\"t_cons\" must be finite"
+      | Some t_cons ->
+        let meth =
+          match Wire.member "method" req with
+          | Some (Wire.String ("is" | "importance")) | None -> Ok `Is
+          | Some (Wire.String ("mc" | "brute-force")) -> Ok `Mc
+          | Some _ -> Error "\"method\" must be \"is\" or \"mc\""
+        in
+        (match meth with
+         | Error msg -> bad msg
+         | Ok meth ->
+           (* explicit seed + strict draw order: the same request always
+              returns the same bits, so clients can recompute and audit *)
+           let rng = Rng.create seed in
+           let a = art.Store.a_mat and mu = art.Store.mu in
+           let est =
+             match meth with
+             | `Is -> Yield.importance ~a ~mu ~t_cons ~rng ~samples ()
+             | `Mc -> Yield.brute_force ~a ~mu ~t_cons ~rng ~samples ()
+           in
+           tick t (fun c -> c.yields <- c.yields + 1);
+           ok_fields ~gen:hot.gen "yield"
+             [
+               ( "method",
+                 Wire.String (match meth with `Is -> "is" | `Mc -> "mc") );
+               ("t_cons", Wire.Float est.Yield.t_cons);
+               ("p_fail", Wire.Float est.Yield.p_fail);
+               ("sn_p_fail", Wire.Float est.Yield.sn_p_fail);
+               ("yield", Wire.Float (Yield.yield_of est));
+               ("std_err", Wire.Float est.Yield.std_err);
+               ("sn_std_err", Wire.Float est.Yield.sn_std_err);
+               ("ess", Wire.Float est.Yield.ess);
+               ("samples", Wire.Int est.Yield.samples);
+               ("hits", Wire.Int est.Yield.hits);
+               ("shift_norm", Wire.Float est.Yield.shift_norm);
+               ("dominant", Wire.Int est.Yield.dominant);
+               ("sample_reduction", Wire.Float (Yield.sample_reduction est));
+             ])
+    end
+
+let level_of_json j =
+  match (Wire.member "offset_ps" j, Wire.member "cost" j) with
+  | Some o, Some c ->
+    (match (Wire.to_float o, Wire.to_float c) with
+     | Some offset_ps, Some cost -> Ok { Tune.offset_ps; cost }
+     | _ -> Error "level \"offset_ps\"/\"cost\" must be numbers")
+  | _ -> Error "each level needs \"offset_ps\" and \"cost\""
+
+let buffer_of_json ~n_paths b j =
+  match (Wire.member "paths" j, Wire.member "levels" j) with
+  | Some (Wire.List pj), Some (Wire.List lj) ->
+    let rec ints acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | Wire.Int p :: rest ->
+        if p < 0 || p >= n_paths then
+          Error
+            (Printf.sprintf "buffer %d drives path %d outside [0, %d)" b p
+               n_paths)
+        else ints (p :: acc) rest
+      | _ -> Error (Printf.sprintf "buffer %d: paths must be integers" b)
+    in
+    let rec levels acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | l :: rest ->
+        (match level_of_json l with
+         | Ok lv -> levels (lv :: acc) rest
+         | Error msg -> Error (Printf.sprintf "buffer %d: %s" b msg))
+    in
+    (match (ints [] pj, levels [] lj) with
+     | Ok paths, Ok lvls ->
+       if Array.length lvls = 0 then
+         Error (Printf.sprintf "buffer %d has no levels" b)
+       else Ok { Tune.paths; levels = lvls }
+     | Error msg, _ | _, Error msg -> Error msg)
+  | _ -> Error (Printf.sprintf "buffer %d needs \"paths\" and \"levels\" lists" b)
+
+let buffers_to_json (buffers : Tune.buffer array) =
+  Wire.List
+    (Array.to_list buffers
+    |> List.map (fun (b : Tune.buffer) ->
+           Wire.Obj
+             [
+               ( "paths",
+                 Wire.List
+                   (Array.to_list b.Tune.paths
+                   |> List.map (fun p -> Wire.Int p)) );
+               ( "levels",
+                 Wire.List
+                   (Array.to_list b.Tune.levels
+                   |> List.map (fun (l : Tune.level) ->
+                          Wire.Obj
+                            [
+                              ("offset_ps", Wire.Float l.Tune.offset_ps);
+                              ("cost", Wire.Float l.Tune.cost);
+                            ])) );
+             ]))
+
+let buffers_of_json ~n_paths j =
+  match j with
+  | Wire.List bjs ->
+    let rec go b acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | bj :: rest ->
+        (match buffer_of_json ~n_paths b bj with
+         | Ok buf -> go (b + 1) (buf :: acc) rest
+         | Error msg -> Error msg)
+    in
+    go 0 [] bjs
+  | _ -> Error "\"buffers\" must be a list"
+
+(* tune: configure each die's tunable buffers to close timing at
+   minimum cost, from predicted delays ("dies" = representative
+   measurements, the normal flow) or caller-supplied full delay vectors
+   ("delays"). Any die that cannot meet timing fails the whole request
+   with the typed [infeasible] code 65 — a semantic answer, never a
+   transport failure, so clients do not retry it. *)
+let handle_tune t hot req =
+  let art = hot.artifact in
+  let n_paths = art.Store.n_paths in
+  let bad msg = error_response ("tune: " ^ msg) in
+  match Wire.member "buffers" req with
+  | None -> bad "missing \"buffers\""
+  | Some bj ->
+    (match buffers_of_json ~n_paths bj with
+     | Error msg -> bad msg
+     | Ok buffers ->
+       let t_clk =
+         match Wire.member "t_clk" req with
+         | None -> Some art.Store.t_cons
+         | Some v -> Wire.to_float v
+       in
+       (match t_clk with
+        | None -> bad "\"t_clk\" must be a number"
+        | Some t_clk when not (Float.is_finite t_clk) ->
+          bad "\"t_clk\" must be finite"
+        | Some t_clk ->
+          let full_delays =
+            match (Wire.member "delays" req, Wire.member "dies" req) with
+            | Some d, _ -> Wire.mat_of_json ~cols:n_paths d
+            | None, Some dies ->
+              (match Wire.mat_of_json ~cols:hot.n_rep dies with
+               | Error _ as e -> e
+               | Ok measured ->
+                 let n_dies, _ = Linalg.Mat.dims measured in
+                 let pred =
+                   Core.Predictor.predict_all hot.predictor ~measured
+                 in
+                 let rep = Core.Predictor.rep_indices hot.predictor in
+                 let rem = Core.Predictor.rem_indices hot.predictor in
+                 let full = Array.make_matrix n_dies n_paths 0.0 in
+                 for i = 0 to n_dies - 1 do
+                   Array.iteri
+                     (fun j p -> full.(i).(p) <- Linalg.Mat.get measured i j)
+                     rep;
+                   Array.iteri
+                     (fun j p -> full.(i).(p) <- Linalg.Mat.get pred i j)
+                     rem
+                 done;
+                 Ok (Linalg.Mat.init n_dies n_paths (fun i j -> full.(i).(j))))
+            | None, None -> Error "missing \"dies\" (or \"delays\")"
+          in
+          (match full_delays with
+           | Error msg -> bad msg
+           | Ok delays ->
+             let n_dies, _ = Linalg.Mat.dims delays in
+             if n_dies > t.cfg.max_batch then
+               bad
+                 (Printf.sprintf "batch of %d dies exceeds the %d-die limit"
+                    n_dies t.cfg.max_batch)
+             else begin
+               let results =
+                 Array.init n_dies (fun i ->
+                     Tune.solve
+                       {
+                         Tune.delays = Linalg.Mat.row delays i;
+                         t_clk;
+                         buffers;
+                       })
+               in
+               let first_infeasible = ref None in
+               Array.iteri
+                 (fun i r ->
+                   match (r, !first_infeasible) with
+                   | Tune.Infeasible inf, None ->
+                     first_infeasible := Some (i, inf)
+                   | _ -> ())
+                 results;
+               match !first_infeasible with
+               | Some (die, inf) ->
+                 tick t (fun c ->
+                     c.tune_infeasible <- c.tune_infeasible + 1);
+                 error_response ~code:65
+                   (Printf.sprintf
+                      "tune: infeasible: die %d cannot meet t_clk=%g ps \
+                       (path %d misses by %g ps at minimum offsets)"
+                      die t_clk inf.Tune.path inf.Tune.deficit_ps)
+               | None ->
+                 tick t (fun c -> c.tuned <- c.tuned + n_dies);
+                 let rows =
+                   Array.to_list results
+                   |> List.map (fun r ->
+                          match r with
+                          | Tune.Infeasible _ -> assert false
+                          | Tune.Feasible a ->
+                            Wire.Obj
+                              [
+                                ( "levels",
+                                  Wire.List
+                                    (Array.to_list a.Tune.levels
+                                    |> List.map (fun l -> Wire.Int l)) );
+                                ("cost", Wire.Float a.Tune.cost);
+                                ("slack_ps", Wire.Float a.Tune.slack_ps);
+                                ("exact", Wire.Bool a.Tune.exact);
+                              ])
+                 in
+                 ok_fields ~gen:hot.gen "tune"
+                   [
+                     ("dies", Wire.Int n_dies);
+                     ("t_clk", Wire.Float t_clk);
+                     ("results", Wire.List rows);
+                   ]
+             end)))
 
 let handle t line =
   let t0 = Unix.gettimeofday () in
@@ -576,6 +849,16 @@ let handle t line =
             error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
        | Some (Wire.String "observe") ->
          (match Core.Errors.catch (fun () -> handle_observe t hot req) with
+          | Ok resp -> resp
+          | Error e ->
+            error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
+       | Some (Wire.String "yield") ->
+         (match Core.Errors.catch (fun () -> handle_yield t hot req) with
+          | Ok resp -> resp
+          | Error e ->
+            error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
+       | Some (Wire.String "tune") ->
+         (match Core.Errors.catch (fun () -> handle_tune t hot req) with
           | Ok resp -> resp
           | Error e ->
             error_response ~code:(Core.Errors.exit_code e) (Core.Errors.to_string e))
@@ -994,14 +1277,18 @@ module Client = struct
     | Error msg -> Error msg
     | Ok resp -> decode_predict resp
 
-  let observe ?deadline c ~measured ~truth =
+  let observe ?deadline ?wafer c ~measured ~truth =
     let req =
       Wire.Obj
-        [
-          ("op", Wire.String "observe");
-          ("dies", Wire.mat_to_json measured);
-          ("truth", Wire.mat_to_json truth);
-        ]
+        ([
+           ("op", Wire.String "observe");
+           ("dies", Wire.mat_to_json measured);
+           ("truth", Wire.mat_to_json truth);
+         ]
+        @
+        match wafer with
+        | None -> []
+        | Some w -> [ ("wafer", Wire.String w) ])
     in
     match request ?deadline c req with
     | Error msg -> Error msg
@@ -1012,6 +1299,53 @@ module Client = struct
           (match Wire.member "error" resp with
            | Some (Wire.String msg) -> msg
            | _ -> "server refused the observation batch")
+
+  (* ---------------- decision ops ---------------- *)
+
+  let yield_request ?samples ?seed ?(meth = `Is) ?t_cons () =
+    let opt name f v =
+      match v with None -> [] | Some x -> [ (name, f x) ]
+    in
+    Wire.Obj
+      ([
+         ("op", Wire.String "yield");
+         ("method", Wire.String (match meth with `Is -> "is" | `Mc -> "mc"));
+       ]
+      @ opt "samples" (fun n -> Wire.Int n) samples
+      @ opt "seed" (fun n -> Wire.Int n) seed
+      @ opt "t_cons" (fun x -> Wire.Float x) t_cons)
+
+  let refused what resp =
+    Error
+      (match Wire.member "error" resp with
+       | Some (Wire.String msg) -> msg
+       | _ -> "server refused the " ^ what)
+
+  let estimate_yield ?deadline ?samples ?seed ?meth ?t_cons c =
+    match
+      request ?deadline c (yield_request ?samples ?seed ?meth ?t_cons ())
+    with
+    | Error msg -> Error msg
+    | Ok resp ->
+      if Wire.member "ok" resp = Some (Wire.Bool true) then Ok resp
+      else refused "yield estimate" resp
+
+  let tune_request ?t_clk ~buffers ~measured () =
+    Wire.Obj
+      ([
+         ("op", Wire.String "tune");
+         ("buffers", buffers_to_json buffers);
+         ("dies", Wire.mat_to_json measured);
+       ]
+      @
+      match t_clk with None -> [] | Some x -> [ ("t_clk", Wire.Float x) ])
+
+  let tune ?deadline ?t_clk ~buffers ~measured c =
+    match request ?deadline c (tune_request ?t_clk ~buffers ~measured ()) with
+    | Error msg -> Error msg
+    | Ok resp ->
+      if Wire.member "ok" resp = Some (Wire.Bool true) then Ok resp
+      else refused "tune request" resp
 
   let shutdown c =
     match request c (Wire.Obj [ ("op", Wire.String "shutdown") ]) with

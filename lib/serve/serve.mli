@@ -19,7 +19,12 @@
     {"op":"stats"}
     {"op":"shutdown"}
     {"op":"predict","dies":[[d11,...,d1r],...],"robust":true}
-    {"op":"observe","dies":[[d11,...,d1r],...],"truth":[[t11,...,t1m],...]}
+    {"op":"observe","dies":[[d11,...,d1r],...],"truth":[[t11,...,t1m],...],
+     "wafer":"W07"}
+    {"op":"yield","method":"is","samples":8192,"seed":7,"t_cons":950.0}
+    {"op":"tune","t_clk":940.0,"dies":[[d11,...,d1r],...],
+     "buffers":[{"paths":[0,3],"levels":[{"offset_ps":0.0,"cost":0.0},
+                                         {"offset_ps":-8.0,"cost":1.5}]}]}
     v}
 
     [dies] is one row of [r] measured representative-path delays per
@@ -35,10 +40,34 @@
     measurements plus ground-truth remaining-path delays — into the
     self-healing loop (enabled by {!config}'s [monitor]): dies passing
     the MAD/missing screen feed the drift detector and the incremental
-    refit, and become re-selection input if drift binds. Every ok
-    response carries the artifact generation ([gen], starting at 1 and
-    bumped by each hot swap) so consumers can correlate predictions
-    with the model that produced them.
+    refit, and become re-selection input if drift binds. The optional
+    [wafer] field keys drift calibration per wafer/lot group
+    ({!Stats.Drift.Grouped}); streams that omit it behave exactly as
+    before. Every ok response carries the artifact generation ([gen],
+    starting at 1 and bumped by each hot swap) so consumers can
+    correlate predictions with the model that produced them.
+
+    {2 Decision ops}
+
+    [yield] estimates the artifact's timing-yield at [t_cons] (default:
+    the artifact's stored constraint) by importance sampling
+    ({!Yield.importance}; ["method":"mc"] selects brute force instead).
+    [samples] (default 4096, capped) and [seed] (default 1) make the
+    answer a pure function of the request and the artifact — clients
+    can recompute and audit the exact bits. The response carries both
+    estimators ([p_fail], [sn_p_fail]), their standard errors, [ess],
+    the dominant path, and the equal-confidence [sample_reduction]
+    versus naive Monte Carlo.
+
+    [tune] solves each die's minimum-cost tunable-buffer assignment
+    ({!Tune.solve}) against [t_clk] (default: the artifact's
+    constraint). Per-die delays come from [dies] (representative
+    measurements, predicted to the full pool — the normal flow) or a
+    caller-supplied full [delays] matrix. A die that cannot meet timing
+    even at all-minimum offsets fails the {e whole} request with
+    semantic code [65] naming the die, the worst path, and its deficit
+    — a typed answer, never a transport failure, so clients do not
+    retry it.
 
     {2 Failure codes}
 
@@ -112,6 +141,17 @@ val default_config : config
 
 type t
 (** Server state: config, hot artifact snapshot, counters, stop flag. *)
+
+val buffers_to_json : Tune.buffer array -> Wire.json
+(** Wire encoding of a tunable-buffer description (the [buffers] field
+    of a [tune] request) — inverse of the server's decoder. *)
+
+val buffers_of_json :
+  n_paths:int -> Wire.json -> (Tune.buffer array, string) result
+(** The server's decoder for the [buffers] field: a list of
+    [{"paths": [...], "levels": [{"offset_ps": .., "cost": ..}, ...]}]
+    objects, validated against the artifact's path count. Exposed for
+    clients (the CLI) that read the same description from a file. *)
 
 val create : ?config:config -> ?reload_from:string -> Store.t -> t
 (** Build the serving state: restores the Theorem-2 predictor and the
@@ -204,14 +244,57 @@ module Client : sig
 
   val observe :
     ?deadline:float ->
+    ?wafer:string ->
     conn ->
     measured:Linalg.Mat.t ->
     truth:Linalg.Mat.t ->
     (Wire.json, string) result
   (** Stream a batch of fully measured dies ([measured]: [dies x r],
       [truth]: [dies x (n-r)]) into the server's self-healing loop.
-      [Ok] carries the full response ([queued]/[screened] counts); an
-      ["ok":false] response is the [Error] case. *)
+      [wafer] keys per-group drift calibration (omitted = the flat
+      default group). [Ok] carries the full response
+      ([queued]/[screened] counts); an ["ok":false] response is the
+      [Error] case. *)
+
+  val yield_request :
+    ?samples:int ->
+    ?seed:int ->
+    ?meth:[ `Is | `Mc ] ->
+    ?t_cons:float ->
+    unit ->
+    Wire.json
+  (** Build a [yield] request; omitted fields take the server defaults
+      (4096 samples, seed 1, importance sampling, the artifact's
+      stored constraint). *)
+
+  val estimate_yield :
+    ?deadline:float ->
+    ?samples:int ->
+    ?seed:int ->
+    ?meth:[ `Is | `Mc ] ->
+    ?t_cons:float ->
+    conn ->
+    (Wire.json, string) result
+  (** One [yield] round trip; [Ok] is the full response object. *)
+
+  val tune_request :
+    ?t_clk:float ->
+    buffers:Tune.buffer array ->
+    measured:Linalg.Mat.t ->
+    unit ->
+    Wire.json
+
+  val tune :
+    ?deadline:float ->
+    ?t_clk:float ->
+    buffers:Tune.buffer array ->
+    measured:Linalg.Mat.t ->
+    conn ->
+    (Wire.json, string) result
+  (** One [tune] round trip over a [dies x r] measurement batch. An
+      infeasible die answers ["ok":false] with semantic code [65] —
+      surfaced here as [Error] with the server's message; use
+      {!request} directly to inspect the code. *)
 
   val generation : conn -> int option
   (** Artifact generation of the last ok response on this connection

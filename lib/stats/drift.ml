@@ -148,3 +148,149 @@ let reset t =
   t.quarantine <- false;
   t.win_n <- 0;
   t.st <- Healthy
+
+(* ------------------------------------------------------------------ *)
+
+module Grouped = struct
+  type detector = t
+
+  let flat_create = create
+  let flat_observe = observe
+  let flat_state = state
+  let flat_cusum = cusum
+  let flat_variance_ratio = variance_ratio
+  let flat_quarantined = quarantined
+
+  (* each group calibrates its own reference from its first residuals,
+     exactly the way a flat caller would *)
+  type entry = {
+    calib : float array;
+    mutable calib_n : int;
+    mutable det : detector option;
+  }
+
+  type nonrec t = {
+    cfg : config;
+    calibrate : int;
+    max_groups : int;
+    groups : (string, entry) Hashtbl.t;
+    mutable overflow : int;
+  }
+
+  let default_group = ""
+
+  let fresh t =
+    { calib = Array.make t.calibrate 0.0; calib_n = 0; det = None }
+
+  let create ?(config = default_config) ?(calibrate = 32) ?(max_groups = 64)
+      () =
+    check_config config;
+    if calibrate < 2 then invalid_arg "Drift.Grouped: calibrate must be >= 2";
+    if max_groups < 1 then invalid_arg "Drift.Grouped: max_groups must be >= 1";
+    let t =
+      { cfg = config; calibrate; max_groups; groups = Hashtbl.create 16;
+        overflow = 0 }
+    in
+    Hashtbl.replace t.groups default_group (fresh t);
+    t
+
+  let entry_for t group =
+    match Hashtbl.find_opt t.groups group with
+    | Some e -> e
+    | None ->
+      if Hashtbl.length t.groups >= t.max_groups then begin
+        (* bounded table: unknown groups past the cap share the default
+           stream rather than grow without limit *)
+        t.overflow <- t.overflow + 1;
+        Hashtbl.find t.groups default_group
+      end
+      else begin
+        let e = fresh t in
+        Hashtbl.replace t.groups group e;
+        e
+      end
+
+  let observe t ~group x =
+    let e = entry_for t group in
+    match e.det with
+    | Some d -> flat_observe d x
+    | None ->
+      (* calibration: only finite residuals shape the reference *)
+      if Float.is_finite x then begin
+        e.calib.(e.calib_n) <- x;
+        e.calib_n <- e.calib_n + 1;
+        if e.calib_n >= t.calibrate then begin
+          let sample = Array.sub e.calib 0 e.calib_n in
+          e.det <-
+            Some
+              (flat_create ~config:t.cfg
+                 ~mean:(Descriptive.mean sample)
+                 ~sigma:(Descriptive.stddev sample) ())
+        end
+      end;
+      Healthy
+
+  let fold f init t = Hashtbl.fold (fun _ e acc -> f acc e) t.groups init
+
+  let group_count t = Hashtbl.length t.groups
+  let overflowed t = t.overflow
+
+  let calibrating t =
+    fold (fun acc e -> acc && Option.is_none e.det) true t
+
+  let severity = function Healthy -> 0 | Warning -> 1 | Drifted -> 2
+
+  let state t =
+    fold
+      (fun acc e ->
+        match e.det with
+        | None -> acc
+        | Some d ->
+          let s = flat_state d in
+          if severity s > severity acc then s else acc)
+      Healthy t
+
+  let cusum t =
+    fold
+      (fun acc e ->
+        match e.det with
+        | None -> acc
+        | Some d -> Float.max acc (flat_cusum d))
+      0.0 t
+
+  let variance_ratio t =
+    fold
+      (fun acc e ->
+        match e.det with
+        | None -> acc
+        | Some d ->
+          (match (flat_variance_ratio d, acc) with
+           | None, _ -> acc
+           | Some v, None -> Some v
+           | Some v, Some a -> Some (Float.max v a)))
+      None t
+
+  let quarantined t =
+    fold
+      (fun acc e ->
+        acc
+        || match e.det with Some d -> flat_quarantined d | None -> false)
+      false t
+
+  let drifted_active t =
+    fold
+      (fun acc e ->
+        acc
+        ||
+        match e.det with
+        | Some d ->
+          (match flat_state d with
+           | Drifted -> not (flat_quarantined d)
+           | Healthy | Warning -> false)
+        | None -> false)
+      false t
+
+  let restart t =
+    Hashtbl.reset t.groups;
+    Hashtbl.replace t.groups default_group (fresh t)
+end

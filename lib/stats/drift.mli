@@ -85,3 +85,67 @@ val reset : t -> unit
 (** Clear CUSUM state, window, latch and quarantine; keep the reference
     distribution and the cumulative [bad_inputs] counter. Use after an
     artifact swap (followed by recalibration) or operator intervention. *)
+
+(** Per-group drift detection for streams partitioned by wafer/lot.
+
+    Process variation is strongly correlated within a wafer and a lot,
+    so a residual reference calibrated across wafers is wider than any
+    single wafer's healthy spread — a per-wafer shift can hide inside
+    it. [Grouped] keys calibration and detection by an opaque group id:
+    each group gets its own reference (estimated from its own first
+    residuals) and its own CUSUM/variance detector, created lazily and
+    bounded by a table cap. A stream that never names a group lands in
+    the default group [""] and behaves exactly like a single flat
+    detector with the same calibration length. *)
+module Grouped : sig
+  type t
+
+  val create :
+    ?config:config -> ?calibrate:int -> ?max_groups:int -> unit -> t
+  (** One detector configuration shared by every group. [calibrate]
+      (default [32], [>= 2]) residuals per group build that group's
+      reference; [max_groups] (default [64], [>= 1]) bounds the table —
+      unknown groups past the cap are folded into the default group and
+      counted in {!overflowed}. Raises [Invalid_argument] on a bad
+      config (via {!check_config}) or bad bounds. *)
+
+  val observe : t -> group:string -> float -> state
+  (** Feed one residual to [group]'s detector, creating it (calibrating
+      first) on first sight. Returns that group's post-observation
+      state; [Healthy] while the group is still calibrating. *)
+
+  val group_count : t -> int
+  (** Groups currently tracked (the default group counts). *)
+
+  val overflowed : t -> int
+  (** Observations from unknown groups folded into the default group
+      because the table was full (cumulative, survives {!restart}). *)
+
+  val calibrating : t -> bool
+  (** No group has finished calibration yet — no detection capability
+      anywhere. Matches the flat detector's "calibrating" notion when
+      only the default group exists. *)
+
+  val state : t -> state
+  (** Worst state across groups ([Drifted] > [Warning] > [Healthy]). *)
+
+  val cusum : t -> float
+  (** Largest CUSUM statistic across calibrated groups; [0.0] if none. *)
+
+  val variance_ratio : t -> float option
+  (** Largest windowed variance ratio across groups whose window has
+      filled; [None] if no group's has. *)
+
+  val quarantined : t -> bool
+  (** Some group's detector has quarantined itself. *)
+
+  val drifted_active : t -> bool
+  (** Some group is [Drifted] and {e not} quarantined — the re-selection
+      trigger: a quarantined group's latched state is untrusted, but it
+      must not mask a genuine drift in another group. *)
+
+  val restart : t -> unit
+  (** Drop every group (including calibration progress) back to a fresh
+      table with only the default group; keeps the cumulative
+      {!overflowed} counter. Use after an artifact swap. *)
+end

@@ -9,11 +9,12 @@ type t = {
   selection : Core.Select.t;
   blocks : Core.Robust.blocks;
   mu : Linalg.Vec.t;
+  a_mat : Linalg.Mat.t;
 }
 
 let magic = "PSA1"
 
-let current_version = 1
+let current_version = 2
 
 let header_size = 20 (* magic 4 + version 4 + payload length 8 + crc 4 *)
 
@@ -39,6 +40,7 @@ let of_selection ?(fingerprint = "") ?(kappa = Core.Config.default.Core.Config.k
     selection = sel;
     blocks;
     mu = Array.copy mu;
+    a_mat = a;
   }
 
 let predictor t = t.selection.Core.Select.predictor
@@ -79,6 +81,9 @@ let encode_payload t =
   Codec.W.mat b t.blocks.Core.Robust.cross;
   (* full per-path means *)
   Codec.W.float_array b t.mu;
+  (* v2: the full sensitivity matrix, for decision workloads (yield
+     estimation needs every row, not just the reduced blocks) *)
+  Codec.W.mat b t.a_mat;
   Codec.W.contents b
 
 let to_bytes t =
@@ -134,6 +139,7 @@ let decode_payload ~file payload =
   let gram = Codec.R.mat r in
   let cross = Codec.R.mat r in
   let mu = Codec.R.float_array r in
+  let a_mat = Codec.R.mat r in
   if not (Codec.R.at_end r) then raise (Codec.Malformed "trailing bytes in payload");
   (* structural consistency: every cross-field relationship the encoder
      guarantees is re-checked, so a corrupted-but-CRC-colliding or
@@ -149,6 +155,9 @@ let decode_payload ~file payload =
     fail "per-path tolerance length disagrees with remainder count";
   let omr, omc = Linalg.Mat.dims raw.Core.Predictor.raw_omega in
   if omr > 0 && omc <> n_vars then fail "error-operator width disagrees with n_vars";
+  let ar, ac = Linalg.Mat.dims a_mat in
+  if ar <> n_paths || ac <> n_vars then
+    fail "sensitivity matrix dims disagree with path/variable counts";
   (* Predictor.import re-validates index ordering and every dimension *)
   let predictor =
     try Core.Predictor.import raw
@@ -179,6 +188,7 @@ let decode_payload ~file payload =
       };
     blocks;
     mu;
+    a_mat;
   }
 
 let of_bytes ?(file = "<bytes>") s =

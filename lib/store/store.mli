@@ -10,7 +10,7 @@
     written to a versioned, checksummed binary file that a serving
     process loads in milliseconds.
 
-    {2 File format (version 1)}
+    {2 File format (version 2)}
 
     {v
     offset  size  field
@@ -24,7 +24,10 @@
     The payload is a fixed positional sequence of length-prefixed
     fields (see [store.ml]); all integers are little-endian, all floats
     IEEE-754 doubles by bit pattern, so every value round-trips
-    {e exactly}. Versioning policy: the version is bumped on {e any}
+    {e exactly}. Version 2 appends the full sensitivity matrix [A]
+    after the mean vector so that decision workloads (yield estimation,
+    per-die tuning) can run from the artifact alone.
+    Versioning policy: the version is bumped on {e any}
     payload layout change; readers refuse both older and newer versions
     ({!Core.Errors.Version_mismatch}) rather than guess — artifacts are
     cheap to regenerate from the design database, silent misreads are
@@ -47,6 +50,9 @@ type t = {
   blocks : Core.Robust.blocks;
       (** cached [A_r A_r^T] and [A_r A_m^T] for {!Core.Robust} *)
   mu : Linalg.Vec.t;     (** full per-path mean vector, length [n_paths] *)
+  a_mat : Linalg.Mat.t;
+      (** full sensitivity matrix [A] ([n_paths] x [n_vars]) — what
+          yield estimation and per-die tuning consume *)
 }
 
 val magic : string

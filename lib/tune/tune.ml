@@ -1,0 +1,234 @@
+type level = { offset_ps : float; cost : float }
+type buffer = { paths : int array; levels : level array }
+type instance = { delays : float array; t_clk : float; buffers : buffer array }
+
+type assignment = {
+  levels : int array;
+  cost : float;
+  slack_ps : float;
+  exact : bool;
+}
+
+type infeasible = { path : int; deficit_ps : float }
+type result = Feasible of assignment | Infeasible of infeasible
+
+(* cost comparisons carry a tolerance so equal-cost assignments found
+   in different orders don't churn the incumbent *)
+let tol = 1e-9
+
+let check_instance inst =
+  let np = Array.length inst.delays in
+  if np < 1 then invalid_arg "Tune: empty path set";
+  if not (Float.is_finite inst.t_clk) then
+    invalid_arg "Tune: t_clk must be finite";
+  Array.iter
+    (fun d ->
+      if not (Float.is_finite d) then
+        invalid_arg "Tune: path delays must be finite")
+    inst.delays;
+  Array.iteri
+    (fun b (buf : buffer) ->
+      if Array.length buf.levels < 1 then
+        invalid_arg (Printf.sprintf "Tune: buffer %d has no levels" b);
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= np then
+            invalid_arg
+              (Printf.sprintf "Tune: buffer %d drives unknown path %d" b p))
+        buf.paths;
+      Array.iter
+        (fun l ->
+          if not (Float.is_finite l.offset_ps && Float.is_finite l.cost) then
+            invalid_arg
+              (Printf.sprintf "Tune: buffer %d has a non-finite level" b);
+          if l.cost < 0.0 then
+            invalid_arg
+              (Printf.sprintf "Tune: buffer %d has a negative-cost level" b))
+        buf.levels)
+    inst.buffers
+
+(* adjusted per-path delays under a concrete assignment, accumulated in
+   buffer order — the one summation order both solvers share *)
+let adjusted inst levels =
+  let d = Array.copy inst.delays in
+  Array.iteri
+    (fun b li ->
+      let buf = inst.buffers.(b) in
+      let off = buf.levels.(li).offset_ps in
+      Array.iter (fun p -> d.(p) <- d.(p) +. off) buf.paths)
+    levels;
+  d
+
+let cost_of inst levels =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun b li -> acc := !acc +. inst.buffers.(b).levels.(li).cost)
+    levels;
+  !acc
+
+let meets inst d = Array.for_all (fun x -> x <= inst.t_clk) d
+
+let slack_of inst d =
+  Array.fold_left (fun acc x -> Float.min acc (inst.t_clk -. x)) Float.infinity
+    d
+
+let min_index_by f arr =
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if f arr.(i) < f arr.(!best) then best := i
+  done;
+  !best
+
+(* every buffer at its minimum offset: because offsets are additive and
+   independent across buffers, this is simultaneously the best case for
+   every path — if it misses timing, nothing meets it *)
+let min_offset_levels inst =
+  Array.map (fun (buf : buffer) -> min_index_by (fun l -> l.offset_ps) buf.levels)
+    inst.buffers
+
+let worst_violation inst d =
+  let path = ref 0 and deficit = ref Float.neg_infinity in
+  Array.iteri
+    (fun i x ->
+      let miss = x -. inst.t_clk in
+      if miss > !deficit then begin
+        path := i;
+        deficit := miss
+      end)
+    d;
+  { path = !path; deficit_ps = !deficit }
+
+let feasible_result inst levels ~exact =
+  let d = adjusted inst levels in
+  {
+    levels = Array.copy levels;
+    cost = cost_of inst levels;
+    slack_ps = slack_of inst d;
+    exact;
+  }
+
+let solve ?(max_nodes = 200_000) inst =
+  check_instance inst;
+  if max_nodes < 1 then invalid_arg "Tune: max_nodes must be >= 1";
+  let mo = min_offset_levels inst in
+  let d0 = adjusted inst mo in
+  if not (meets inst d0) then Infeasible (worst_violation inst d0)
+  else begin
+    let nb = Array.length inst.buffers in
+    let np = Array.length inst.delays in
+    (* levels in cost order per buffer, keeping original indices *)
+    let by_cost =
+      Array.map
+        (fun (buf : buffer) ->
+          let idx = Array.mapi (fun i l -> (i, l)) buf.levels in
+          Array.sort
+            (fun (_, (l1 : level)) (_, (l2 : level)) ->
+              Float.compare l1.cost l2.cost)
+            idx;
+          idx)
+        inst.buffers
+    in
+    (* admissible bounds over the not-yet-assigned suffix: the cheapest
+       total cost and, per path, the most optimistic offset sum *)
+    let suffix_min_cost = Array.make (nb + 1) 0.0 in
+    let suffix_min_add = Array.make_matrix (nb + 1) np 0.0 in
+    for b = nb - 1 downto 0 do
+      let buf = inst.buffers.(b) in
+      let min_cost = ref Float.infinity and min_off = ref Float.infinity in
+      Array.iter
+        (fun (l : level) ->
+          min_cost := Float.min !min_cost l.cost;
+          min_off := Float.min !min_off l.offset_ps)
+        buf.levels;
+      suffix_min_cost.(b) <- suffix_min_cost.(b + 1) +. !min_cost;
+      Array.blit suffix_min_add.(b + 1) 0 suffix_min_add.(b) 0 np;
+      Array.iter
+        (fun p -> suffix_min_add.(b).(p) <- suffix_min_add.(b).(p) +. !min_off)
+        buf.paths
+    done;
+    let best_cost = ref (cost_of inst mo) in
+    let best_levels = ref (Array.copy mo) in
+    let cur = Array.make nb 0 in
+    let added = Array.make np 0.0 in
+    let nodes = ref 0 in
+    let exact = ref true in
+    let rec go b cur_cost =
+      if cur_cost +. suffix_min_cost.(b) < !best_cost -. tol then begin
+        let viable = ref true in
+        for i = 0 to np - 1 do
+          if
+            inst.delays.(i) +. added.(i) +. suffix_min_add.(b).(i)
+            > inst.t_clk
+          then viable := false
+        done;
+        if !viable then begin
+          if b = nb then begin
+            (* re-verify from scratch: the incremental [added] sums can
+               drift by ulps from the canonical buffer-order sums *)
+            let d = adjusted inst cur in
+            let c = cost_of inst cur in
+            if meets inst d && c < !best_cost -. tol then begin
+              best_cost := c;
+              best_levels := Array.copy cur
+            end
+          end
+          else
+            Array.iter
+              (fun (orig, (l : level)) ->
+                incr nodes;
+                if !nodes > max_nodes then exact := false
+                else begin
+                  cur.(b) <- orig;
+                  let paths = inst.buffers.(b).paths in
+                  Array.iter
+                    (fun p -> added.(p) <- added.(p) +. l.offset_ps)
+                    paths;
+                  go (b + 1) (cur_cost +. l.cost);
+                  Array.iter
+                    (fun p -> added.(p) <- added.(p) -. l.offset_ps)
+                    paths
+                end)
+              by_cost.(b)
+        end
+      end
+    in
+    go 0 0.0;
+    Feasible (feasible_result inst !best_levels ~exact:!exact)
+  end
+
+let exhaustive inst =
+  check_instance inst;
+  let nb = Array.length inst.buffers in
+  let space =
+    Array.fold_left
+      (fun acc (buf : buffer) ->
+        let n = Array.length buf.levels in
+        if acc > 1_000_000 / n then 1_000_001 else acc * n)
+      1 inst.buffers
+  in
+  if space > 1_000_000 then
+    invalid_arg "Tune.exhaustive: level product space exceeds 1_000_000";
+  let levels = Array.make nb 0 in
+  let best = ref None in
+  let rec enumerate b =
+    if b = nb then begin
+      let d = adjusted inst levels in
+      if meets inst d then begin
+        let c = cost_of inst levels in
+        match !best with
+        | Some (bc, _) when c >= bc -. tol -> ()
+        | _ -> best := Some (c, Array.copy levels)
+      end
+    end
+    else
+      for li = 0 to Array.length inst.buffers.(b).levels - 1 do
+        levels.(b) <- li;
+        enumerate (b + 1)
+      done
+  in
+  enumerate 0;
+  match !best with
+  | Some (_, lv) -> Feasible (feasible_result inst lv ~exact:true)
+  | None ->
+    let d0 = adjusted inst (min_offset_levels inst) in
+    Infeasible (worst_violation inst d0)

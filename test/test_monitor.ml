@@ -31,7 +31,7 @@ let obs ?(resid = 0.0) i =
   let measured = Array.init r f in
   let truth = Array.init m (fun k -> f (r + k)) in
   let full = Array.append measured truth in
-  { Monitor.measured; truth; full; resid }
+  { Monitor.measured; truth; full; resid; wafer = "" }
 
 let create ?(config = mon_cfg) ?(reselect = fun _ -> Ok (r, m, 1.0)) () =
   Monitor.create ~config ~n_paths ~r ~m ~reselect ()
@@ -214,7 +214,7 @@ let test_malformed_observations () =
   (* wrong measured length: skipped by the shape check *)
   Monitor.submit t
     { Monitor.measured = [| 1.0 |]; truth = Array.make m 1.0;
-      full = Array.make n_paths 1.0; resid = 0.0 };
+      full = Array.make n_paths 1.0; resid = 0.0; wafer = "" };
   (* non-finite die: refit refuses it, detector sees the residual *)
   let bad = obs 3 in
   bad.Monitor.measured.(0) <- Float.nan;

@@ -91,7 +91,7 @@ let test_future_version () =
   let bytes = Bytes.of_string (Store.to_bytes (Lazy.force fixture)) in
   Bytes.set_int32_le bytes 4 99l;
   expect_error "version" (Bytes.to_string bytes) (function
-    | Core.Errors.Version_mismatch { found = 99; expected = 1; _ } -> ()
+    | Core.Errors.Version_mismatch { found = 99; expected = 2; _ } -> ()
     | e -> Alcotest.failf "expected Version_mismatch, got %s" (Core.Errors.to_string e))
 
 let test_truncated () =

@@ -1,0 +1,255 @@
+(* Importance-sampled yield estimation: dominant-path geometry, the
+   bit-exact brute-force contract against Timing.Monte_carlo, the
+   degenerate-shift collapse, and IS-vs-MC statistical agreement. *)
+
+let mat rows = Linalg.Mat.of_arrays (Array.map Array.copy rows)
+
+(* a small correlated synthetic model: paths x vars sensitivities from
+   a fixed generator, means spread below the constraint *)
+let synth_model seed n_paths n_vars =
+  let rng = Rng.create seed in
+  let a =
+    Linalg.Mat.init n_paths n_vars (fun _ _ ->
+        if Rng.uniform rng 0.0 1.0 < 0.4 then 0.0
+        else Float.abs (Rng.gaussian rng) +. 0.1)
+  in
+  let mu = Array.init n_paths (fun _ -> Rng.uniform rng 100.0 140.0) in
+  (a, mu)
+
+let test_dominant_and_design_point () =
+  let a = mat [| [| 3.0; 4.0 |]; [| 1.0; 0.0 |] |] in
+  let mu = [| 90.0; 99.0 |] in
+  let t_cons = 100.0 in
+  (* betas: (100-90)/5 = 2 and (100-99)/1 = 1 -> path 1 dominates *)
+  let dom, beta = Yield.dominant_path ~a ~mu ~t_cons in
+  Alcotest.(check int) "dominant path" 1 dom;
+  Alcotest.(check (float 1e-12)) "beta" 1.0 beta;
+  let shift = Yield.design_point ~a ~mu ~t_cons in
+  (* the shift puts the dominant path exactly on its boundary *)
+  let d1 = mu.(1) +. (Linalg.Mat.get a 1 0 *. shift.(0))
+           +. (Linalg.Mat.get a 1 1 *. shift.(1)) in
+  Alcotest.(check (float 1e-9)) "on the boundary" t_cons d1
+
+let test_deterministic_pool () =
+  let a = mat [| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  let mu = [| 90.0; 95.0 |] in
+  let pass =
+    Yield.importance ~a ~mu ~t_cons:100.0 ~rng:(Rng.create 1) ~samples:64 ()
+  in
+  Alcotest.(check (float 0.0)) "never fails" 0.0 pass.Yield.p_fail;
+  Alcotest.(check (float 0.0)) "no variance" 0.0 pass.Yield.std_err;
+  Alcotest.(check int) "dominant -1" (-1) pass.Yield.dominant;
+  Alcotest.(check (float 0.0)) "full ess" 64.0 pass.Yield.ess;
+  let fail =
+    Yield.importance ~a ~mu ~t_cons:94.0 ~rng:(Rng.create 1) ~samples:64 ()
+  in
+  Alcotest.(check (float 0.0)) "always fails" 1.0 fail.Yield.p_fail;
+  Alcotest.(check int) "all hits" 64 fail.Yield.hits
+
+let test_validation () =
+  let a = mat [| [| 1.0 |] |] in
+  let expect_invalid name f =
+    match f () with
+    | (_ : Yield.estimate) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "samples < 2" (fun () ->
+      Yield.importance ~a ~mu:[| 0.0 |] ~t_cons:1.0 ~rng:(Rng.create 1)
+        ~samples:1 ());
+  expect_invalid "mu length" (fun () ->
+      Yield.importance ~a ~mu:[| 0.0; 1.0 |] ~t_cons:1.0 ~rng:(Rng.create 1)
+        ~samples:8 ());
+  expect_invalid "t_cons nan" (fun () ->
+      Yield.importance ~a ~mu:[| 0.0 |] ~t_cons:Float.nan ~rng:(Rng.create 1)
+        ~samples:8 ())
+
+(* the mli contract: brute_force with the same seed consumes exactly
+   Timing.Monte_carlo.sample's draw sequence, so its failure count
+   equals one computed offline from path_delays *)
+let test_brute_force_matches_monte_carlo () =
+  let nl =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = 90; seed = 23; depth = 8;
+        num_inputs = 10; num_outputs = 8 }
+  in
+  let model = Timing.Variation.make_model ~levels:3 () in
+  let dm = Timing.Delay_model.build nl model in
+  let t_cons = Timing.Delay_model.nominal_critical_delay dm in
+  let r =
+    Timing.Path_extract.extract ~max_paths:200 dm ~t_cons ~yield_threshold:0.99
+  in
+  let pool = Timing.Paths.build dm r.Timing.Path_extract.paths in
+  let a = Timing.Paths.a_mat pool in
+  let mu = Timing.Paths.mu_paths pool in
+  let n = 2000 in
+  let d =
+    Timing.Monte_carlo.path_delays
+      (Timing.Monte_carlo.sample (Rng.create 77) pool ~n)
+  in
+  let n_paths = Timing.Paths.num_paths pool in
+  let offline = ref 0 in
+  for i = 0 to n - 1 do
+    let worst = ref Float.neg_infinity in
+    for j = 0 to n_paths - 1 do
+      worst := Float.max !worst (Linalg.Mat.get d i j)
+    done;
+    if !worst > t_cons then incr offline
+  done;
+  let est =
+    Yield.brute_force ~a ~mu ~t_cons ~rng:(Rng.create 77) ~samples:n ()
+  in
+  Alcotest.(check int) "hit counts agree bit-for-bit" !offline est.Yield.hits;
+  Alcotest.(check bool) "p is the exact ratio" true
+    (Int64.bits_of_float est.Yield.p_fail
+    = Int64.bits_of_float (float_of_int !offline /. float_of_int n))
+
+(* degenerate shift regression: with the dominant path exactly at its
+   constraint, x* = 0, every weight is exactly 1.0 and importance
+   sampling collapses onto brute force bit-for-bit *)
+let test_degenerate_shift_collapses_to_brute_force () =
+  let a, mu = synth_model 5 10 6 in
+  let dom, _ = Yield.dominant_path ~a ~mu ~t_cons:(mu.(0) +. 50.0) in
+  (* t_cons = mu of the (then-)dominant path makes its beta exactly 0;
+     re-derive until the fixed point holds *)
+  let t_cons = mu.(dom) in
+  let dom', beta = Yield.dominant_path ~a ~mu ~t_cons in
+  Alcotest.(check bool) "beta <= 0 at the boundary" true (beta <= 0.0);
+  let shift = Yield.design_point ~a ~mu ~t_cons in
+  ignore dom';
+  Alcotest.(check bool) "x* = 0 only when dominant sits on the boundary" true
+    (Array.for_all (fun v -> v = 0.0 || beta <> 0.0) shift);
+  let samples = 4096 in
+  let is_est =
+    Yield.importance ~a ~mu ~t_cons ~rng:(Rng.create 9) ~samples ()
+  in
+  let mc_est =
+    Yield.brute_force ~a ~mu ~t_cons ~rng:(Rng.create 9) ~samples ()
+  in
+  if is_est.Yield.shift_norm = 0.0 then begin
+    let bits = Int64.bits_of_float in
+    Alcotest.(check bool) "p_fail bit-equal" true
+      (bits is_est.Yield.p_fail = bits mc_est.Yield.p_fail);
+    Alcotest.(check bool) "std_err bit-equal" true
+      (bits is_est.Yield.std_err = bits mc_est.Yield.std_err);
+    Alcotest.(check int) "hits equal" mc_est.Yield.hits is_est.Yield.hits;
+    Alcotest.(check (float 0.0)) "ess = n (unit weights)"
+      (float_of_int samples) is_est.Yield.ess
+  end
+  else
+    (* the dominant path moved when t_cons dropped: the collapse is
+       exercised by the explicit zero-beta instance below instead *)
+    ()
+
+(* an explicit zero-beta instance so the collapse is always exercised *)
+let test_degenerate_shift_explicit () =
+  let a = mat [| [| 2.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let mu = [| 100.0; 50.0 |] in
+  (* betas: 0 / 2 = 0 (dominant) and 50 / 1 = 50 *)
+  let t_cons = 100.0 in
+  let samples = 2048 in
+  let is_est = Yield.importance ~a ~mu ~t_cons ~rng:(Rng.create 3) ~samples () in
+  let mc_est = Yield.brute_force ~a ~mu ~t_cons ~rng:(Rng.create 3) ~samples () in
+  Alcotest.(check (float 0.0)) "zero shift" 0.0 is_est.Yield.shift_norm;
+  Alcotest.(check bool) "p_fail bit-equal" true
+    (Int64.bits_of_float is_est.Yield.p_fail
+    = Int64.bits_of_float mc_est.Yield.p_fail);
+  Alcotest.(check int) "hits equal" mc_est.Yield.hits is_est.Yield.hits;
+  Alcotest.(check (float 0.0)) "ess = n" (float_of_int samples) is_est.Yield.ess;
+  (* ~half the draws land above a boundary-sitting dominant path *)
+  Alcotest.(check bool) "p near 1/2" true
+    (is_est.Yield.p_fail > 0.4 && is_est.Yield.p_fail < 0.6)
+
+let test_union_bound_and_calibration () =
+  let a, mu = synth_model 11 12 8 in
+  let target = 1e-4 in
+  let t = Yield.calibrate_t_cons ~a ~mu ~target in
+  let b = Yield.union_bound ~a ~mu ~t_cons:t in
+  Alcotest.(check bool) "bound hits the target" true
+    (Float.abs (b -. target) < 1e-6);
+  Alcotest.(check bool) "monotone: looser constraint, smaller bound" true
+    (Yield.union_bound ~a ~mu ~t_cons:(t +. 10.0) < b);
+  Alcotest.(check bool) "clamped at 1" true
+    (Yield.union_bound ~a ~mu ~t_cons:(-1e6) = 1.0)
+
+(* the E18 acceptance criterion at unit-test scale, fixed seed: IS and
+   MC within 3 combined standard errors, IS at >= 50x fewer samples *)
+let test_is_agrees_with_mc_within_3_se () =
+  let a, mu = synth_model 17 12 8 in
+  let t_cons = Yield.calibrate_t_cons ~a ~mu ~target:1e-3 in
+  let is_est =
+    Yield.importance ~a ~mu ~t_cons ~rng:(Rng.create 21) ~samples:8192 ()
+  in
+  let mc_est =
+    Yield.brute_force ~a ~mu ~t_cons ~rng:(Rng.create 22) ~samples:200_000 ()
+  in
+  Alcotest.(check bool) "MC saw failures" true (mc_est.Yield.hits > 0);
+  let z = Yield.agreement_z is_est mc_est in
+  if not (Float.is_finite z && z <= 3.0) then
+    Alcotest.failf "agreement_z = %g (IS %g +- %g, MC %g +- %g)" z
+      is_est.Yield.p_fail is_est.Yield.std_err mc_est.Yield.p_fail
+      mc_est.Yield.std_err;
+  let red = Yield.sample_reduction is_est in
+  if not (Float.is_finite red && red >= 50.0) then
+    Alcotest.failf "sample_reduction = %g < 50" red
+
+(* block size is an implementation detail: same bits at any block *)
+let test_block_invariance () =
+  let a, mu = synth_model 29 8 5 in
+  let t_cons = Yield.calibrate_t_cons ~a ~mu ~target:5e-3 in
+  let run block =
+    Yield.importance ~block ~a ~mu ~t_cons ~rng:(Rng.create 4) ~samples:1000 ()
+  in
+  let e1 = run 7 and e2 = run 4096 in
+  Alcotest.(check bool) "p_fail bit-equal across blocks" true
+    (Int64.bits_of_float e1.Yield.p_fail = Int64.bits_of_float e2.Yield.p_fail);
+  Alcotest.(check bool) "sn bit-equal across blocks" true
+    (Int64.bits_of_float e1.Yield.sn_p_fail
+    = Int64.bits_of_float e2.Yield.sn_p_fail);
+  Alcotest.(check int) "hits equal" e2.Yield.hits e1.Yield.hits
+
+(* randomized: on small instances IS and MC always agree statistically.
+   Widened to 4.5 combined SEs per the repo's property-test convention
+   (the fixed-seed test above asserts the 3-SE acceptance gate). *)
+let prop_is_mc_agree =
+  QCheck.Test.make ~count:8 ~name:"IS ~= MC within 4.5 combined SE"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let n_paths = 2 + (seed mod 11) in
+      let n_vars = 2 + (seed mod 7) in
+      let a, mu = synth_model seed n_paths n_vars in
+      let t_cons = Yield.calibrate_t_cons ~a ~mu ~target:1e-2 in
+      let is_est =
+        Yield.importance ~a ~mu ~t_cons ~rng:(Rng.create (seed + 1))
+          ~samples:8192 ()
+      in
+      let mc_est =
+        Yield.brute_force ~a ~mu ~t_cons ~rng:(Rng.create (seed + 2))
+          ~samples:60_000 ()
+      in
+      if mc_est.Yield.hits = 0 || is_est.Yield.hits = 0 then true
+      else
+        let z = Yield.agreement_z is_est mc_est in
+        Float.is_finite z && z <= 4.5)
+
+let suites =
+  [
+    ( "yield",
+      [
+        Alcotest.test_case "dominant path and design point" `Quick
+          test_dominant_and_design_point;
+        Alcotest.test_case "deterministic pool" `Quick test_deterministic_pool;
+        Alcotest.test_case "input validation" `Quick test_validation;
+        Alcotest.test_case "brute force matches Monte_carlo bit-for-bit" `Quick
+          test_brute_force_matches_monte_carlo;
+        Alcotest.test_case "degenerate shift collapses to brute force" `Quick
+          test_degenerate_shift_collapses_to_brute_force;
+        Alcotest.test_case "degenerate shift: explicit zero-beta instance"
+          `Quick test_degenerate_shift_explicit;
+        Alcotest.test_case "union bound and calibration" `Quick
+          test_union_bound_and_calibration;
+        Alcotest.test_case "IS within 3 SE of MC at >= 50x reduction" `Quick
+          test_is_agrees_with_mc_within_3_se;
+        Alcotest.test_case "block-size invariance" `Quick test_block_invariance;
+        QCheck_alcotest.to_alcotest prop_is_mc_agree;
+      ] );
+  ]
