@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 doc clean
+.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke sketch-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 doc clean
 
 all: build
 
@@ -63,6 +63,14 @@ bench-e17:
 bench-e18:
 	dune exec bench/main.exe -- e18
 
+# E19 sketched selection: quality vs the exact engine on feasible
+# pools, then wall-clock scaling on streamed sparse pools up to a
+# 1,000,000-path synthetic -- selected end-to-end without ever
+# allocating a dense pool-sized matrix; emits BENCH_e19.json in the
+# repo root.
+bench-e19:
+	dune exec bench/main.exe -- e19
+
 # Scaled-down E15 as a CI gate (< 30s): fails if any parallel kernel is
 # not bit-identical to serial, or (on hosts with >= 2 cores) if the
 # 4-domain matmul speedup falls below 2x. Single-core hosts check
@@ -89,6 +97,14 @@ drift-smoke:
 # answer is not bit-identical to the local recompute.
 yield-smoke:
 	dune exec bench/main.exe -- --yield-smoke
+
+# Quick E19 as a CI gate: a 50k-path sketched selection must finish
+# inside the wall-clock budget (an accidental densification blows past
+# it by orders of magnitude), and on a small circuit pool the sketched
+# engine's worst-case prediction error must stay within 1.25x of the
+# exact engine at the same selection size.
+sketch-smoke:
+	dune exec bench/main.exe -- --sketch-smoke
 
 doc:
 	dune build @doc

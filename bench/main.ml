@@ -68,6 +68,38 @@ let kernel_tests () =
     at 4 "kernel:gram-4dom" (fun () -> ignore (Linalg.Mat.gram a));
   ]
 
+(* Sparse-kernel and sketch rows: CSR spmm at the same nnz as the dense
+   256x256 product above (spread over 8x the rows), and the randomized
+   range finder at two sketch ranks on that operator. *)
+let sparse_tests () =
+  let open Bechamel in
+  let rng = Rng.create 43 in
+  let dim = 256 in
+  let dense_a = Linalg.Mat.init dim dim (fun _ _ -> Rng.gaussian rng) in
+  let b = Linalg.Mat.init dim dim (fun _ _ -> Rng.gaussian rng) in
+  let rows = 8 * dim in
+  let per_row = dim * dim / rows in
+  let sp =
+    Linalg.Sparse.init_rows ~rows ~cols:dim (fun i ->
+        List.init per_row (fun k -> (((7 * i) + (k * 11)) mod dim, Rng.gaussian rng)))
+  in
+  let tall = Linalg.Mat.init rows dim (fun _ _ -> Rng.gaussian rng) in
+  let ops = Linalg.Rsvd.op_of_sparse sp in
+  [
+    Test.make ~name:"sparse:dense-mul-256x256-65k-nnz"
+      (Staged.stage (fun () -> ignore (Linalg.Mat.mul dense_a b)));
+    Test.make ~name:"sparse:spmm-2048x256-65k-nnz"
+      (Staged.stage (fun () -> ignore (Linalg.Sparse.mul_mat sp b)));
+    Test.make ~name:"sparse:spmm-t-2048x256-65k-nnz"
+      (Staged.stage (fun () -> ignore (Linalg.Sparse.tmul_mat sp tall)));
+    Test.make ~name:"sketch:range-finder-rank8"
+      (Staged.stage (fun () ->
+           ignore (Linalg.Rsvd.factor_op ~rank:8 ~seed:9 ops)));
+    Test.make ~name:"sketch:range-finder-rank32"
+      (Staged.stage (fun () ->
+           ignore (Linalg.Rsvd.factor_op ~rank:32 ~seed:9 ops)));
+  ]
+
 let micro_tests () =
   let open Bechamel in
   let setup, a, mu, svd = Lazy.force micro_fixture in
@@ -145,7 +177,9 @@ let run_micro () =
   Fun.protect ~finally:(fun () ->
       Linalg.Mat.set_par_threshold saved_threshold;
       Par.Pool.set_size saved_domains)
-  @@ fun () -> List.iter run_one (kernel_tests ())
+  @@ fun () ->
+  List.iter run_one (kernel_tests ());
+  List.iter run_one (List.map (fun t -> (None, t)) (sparse_tests ()))
 
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -190,13 +224,16 @@ let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
     ( "e18",
       "E18 -- decision workloads: importance-sampled yield + per-die tuning",
       fun p -> ignore (Experiments.Decision_exp.run ~out:"BENCH_e18.json" p) );
+    ( "e19",
+      "E19 -- sketched million-path selection: quality vs exact, wall-clock scaling",
+      fun p -> ignore (Experiments.Sketch_exp.run ~out:"BENCH_e19.json" p) );
     ("micro", "micro-benchmarks", fun _ -> run_micro ());
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [%s|all] [--full] [--smoke] [--chaos-smoke] \
-     [--drift-smoke] [--yield-smoke] [--domains N]\n"
+     [--drift-smoke] [--yield-smoke] [--sketch-smoke] [--domains N]\n"
     (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
   exit 1
 
@@ -207,11 +244,12 @@ let () =
   let chaos_smoke = List.mem "--chaos-smoke" args in
   let drift_smoke = List.mem "--drift-smoke" args in
   let yield_smoke = List.mem "--yield-smoke" args in
+  let sketch_smoke = List.mem "--sketch-smoke" args in
   let args =
     List.filter
       (fun a ->
         a <> "--full" && a <> "--smoke" && a <> "--chaos-smoke"
-        && a <> "--drift-smoke" && a <> "--yield-smoke")
+        && a <> "--drift-smoke" && a <> "--yield-smoke" && a <> "--sketch-smoke")
       args
   in
   let args =
@@ -253,6 +291,14 @@ let () =
   if yield_smoke then begin
     let r = Experiments.Decision_exp.run profile in
     exit (if r.Experiments.Decision_exp.ok then 0 else 1)
+  end;
+  (* [--sketch-smoke] is the CI gate for the sketched engine: a 50k-path
+     sketched selection must finish inside the wall budget, and on a
+     small circuit pool its worst-case error must stay within 1.25x of
+     the exact engine *)
+  if sketch_smoke then begin
+    let r = Experiments.Sketch_exp.run ~smoke:true profile in
+    exit (if r.Experiments.Sketch_exp.ok then 0 else 1)
   end;
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;

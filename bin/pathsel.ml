@@ -200,20 +200,59 @@ let generate_cmd =
 
 (* ---------------- select ---------------- *)
 
+(* Sketch-engine flags (shared intent with Core.Select.sketch): the
+   sketch seed is the subcommand's --seed, so the same seed reproduces
+   the same selection bit-for-bit. *)
+let sketch_flag =
+  Arg.(value & flag
+       & info [ "sketch" ]
+           ~doc:"Force the randomized sketched engine regardless of pool size \
+                 (the default engine switches to it automatically above \
+                 4096 paths).")
+
+let sketch_rank_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sketch-rank" ] ~docv:"K"
+           ~doc:"Fix the sketch rank. Default: grow adaptively until the \
+                 tail-energy estimate clears the effective-rank threshold.")
+
+let oversample_arg =
+  Arg.(value & opt int 8
+       & info [ "oversample" ] ~docv:"P"
+           ~doc:"Extra sketch columns beyond the target rank.")
+
+let power_iters_arg =
+  Arg.(value & opt int 2
+       & info [ "power-iters" ] ~docv:"Q"
+           ~doc:"Subspace power iterations of the range finder.")
+
+let sketch_config ~seed ~sketch_rank ~oversample ~power_iters =
+  (match sketch_rank with
+   | Some k when k < 1 ->
+     Core.Errors.raise_error (Core.Errors.Invalid_input "--sketch-rank must be >= 1")
+   | _ -> ());
+  if oversample < 0 then
+    Core.Errors.raise_error (Core.Errors.Invalid_input "--oversample must be >= 0");
+  if power_iters < 0 then
+    Core.Errors.raise_error (Core.Errors.Invalid_input "--power-iters must be >= 0");
+  { Core.Select.sketch_rank; oversample; power_iters; sketch_seed = seed }
+
 let select_cmd =
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Exact selection (r = rank A).")
   in
   let run () circuit scale seed levels random_boost tscale max_paths eps exact
-      liberty report lenient faults =
+      sketch sketch_rank oversample power_iters liberty report lenient faults =
    handle @@ fun () ->
     let setup =
       prepare ~lenient ~circuit ~scale ~seed ~levels ~random_boost ~tscale
         ~max_paths ~liberty ()
     in
+    let engine = if sketch then Core.Select.Sketched else Core.Select.Auto in
+    let sketch = sketch_config ~seed ~sketch_rank ~oversample ~power_iters in
     let sel =
-      if exact then Core.Pipeline.exact_selection setup
-      else Core.Pipeline.approximate_selection setup ~eps
+      if exact then Core.Pipeline.exact_selection ~engine ~sketch setup
+      else Core.Pipeline.approximate_selection ~engine ~sketch setup ~eps
     in
     (match report with
      | None -> ()
@@ -293,6 +332,7 @@ let select_cmd =
     (Cmd.info "select" ~doc:"Representative path selection (Algorithm 1).")
     Term.(const run $ runtime_arg $ circuit_arg $ scale_arg $ seed_arg $ levels_arg
           $ random_boost_arg $ tscale_arg $ max_paths_arg $ eps_arg 0.05 $ exact
+          $ sketch_flag $ sketch_rank_arg $ oversample_arg $ power_iters_arg
           $ liberty_arg $ report_arg $ lenient_arg $ faults_arg)
 
 (* ---------------- hybrid ---------------- *)

@@ -329,6 +329,10 @@ let acceptor_loop t seed =
 
 let start ?(seed = 1337) ?eintr_pid spec ~listen ~upstream =
   validate spec;
+  (* the proxy disconnects peers mid-write by design; any process
+     hosting it (bench drivers, the pathsel chaos subcommand) must
+     survive the resulting EPIPEs rather than die of SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let lfd, bound, cleanup = Serve.listen_on listen in
   let t =
     {

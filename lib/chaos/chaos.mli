@@ -65,7 +65,10 @@ val start :
 (** Bind [listen] and start the acceptor thread; each accepted
     connection gets its own pump thread and a deterministic
     per-connection RNG derived from [seed]. [eintr_pid] is the victim
-    of [eintr_burst] signals (typically the server's pid). Raises
+    of [eintr_burst] signals (typically the server's pid). Also sets
+    the calling process to ignore [SIGPIPE]: the proxy (and the lanes
+    talking through it) hit mid-write hangups by design, and those
+    must surface as [EPIPE] errors, not kill the host process. Raises
     [Invalid_argument] on an invalid spec. *)
 
 val bound_addr : t -> Serve.address

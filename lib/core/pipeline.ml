@@ -40,14 +40,14 @@ let prepare_result ?t_cons_scale ?max_paths ?yield_samples ?seed ~netlist ~model
   Errors.catch (fun () ->
       prepare ?t_cons_scale ?max_paths ?yield_samples ?seed ~netlist ~model ())
 
-let approximate_selection ?config ?schedule setup ~eps =
-  Select.approximate ?config ?schedule
+let approximate_selection ?config ?schedule ?engine ?sketch setup ~eps =
+  Select.approximate ?config ?schedule ?engine ?sketch
     ~a:(Timing.Paths.a_mat setup.pool)
     ~mu:(Timing.Paths.mu_paths setup.pool)
     ~eps ~t_cons:setup.t_cons ()
 
-let exact_selection ?config setup =
-  Select.exact ?config
+let exact_selection ?config ?engine ?sketch setup =
+  Select.exact ?config ?engine ?sketch
     ~a:(Timing.Paths.a_mat setup.pool)
     ~mu:(Timing.Paths.mu_paths setup.pool) ()
 

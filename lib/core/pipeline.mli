@@ -55,12 +55,20 @@ val prepare_with_model :
 val approximate_selection :
   ?config:Config.t ->
   ?schedule:Select.schedule ->
+  ?engine:Select.engine ->
+  ?sketch:Select.sketch ->
   setup ->
   eps:float ->
   Select.t
-(** Algorithm 1 on the pool's [A]. *)
+(** Algorithm 1 on the pool's [A]. [engine]/[sketch] select between the
+    exact SVD and the randomized sketch (see {!Select.engine}). *)
 
-val exact_selection : ?config:Config.t -> setup -> Select.t
+val exact_selection :
+  ?config:Config.t ->
+  ?engine:Select.engine ->
+  ?sketch:Select.sketch ->
+  setup ->
+  Select.t
 
 val hybrid_selection :
   ?config:Config.t ->

@@ -1,8 +1,24 @@
 type t = { u : Mat.t; s : Vec.t; v : Mat.t }
 
+type op = {
+  rows : int;
+  cols : int;
+  mul : Mat.t -> Mat.t;
+  tmul : Mat.t -> Mat.t;
+}
+
+let op_of_mat a =
+  let rows, cols = Mat.dims a in
+  { rows; cols; mul = (fun x -> Mat.mul a x); tmul = (fun y -> Mat.mul_tn a y) }
+
+let op_of_sparse a =
+  let rows, cols = Sparse.dims a in
+  { rows; cols; mul = Sparse.mul_mat a; tmul = Sparse.tmul_mat a }
+
 (* Gram-Schmidt orthonormalization of the columns (twice, for numerical
    safety); returns a matrix with orthonormal columns spanning the same
-   range. *)
+   range. Rank-revealing (drops negligible columns), so it is the
+   fallback when the fast Cholesky route below hits rank deficiency. *)
 let orthonormalize m =
   let rows, cols = Mat.dims m in
   let q = Mat.copy m in
@@ -30,11 +46,59 @@ let orthonormalize m =
   let cols_kept = Array.of_list (List.rev !kept) in
   Mat.select_cols q cols_kept
 
-let factor ?(oversample = 8) ?(power_iters = 2) ~rank ~seed a =
-  let m, n = Mat.dims a in
-  let k = max 1 (min rank (min m n)) in
-  let sketch_cols = min (min m n) (k + oversample) in
-  (* deterministic Gaussian sketch from a splitmix-style hash *)
+(* One CholQR pass: Q = Y L^{-T} with G = Y^T Y = L L^T. The Gram
+   product is row-band parallel ([Mat.mul_tn]) and the triangular solve
+   is independent per row, so the pass is bit-identical at any pool
+   size. Raises [Cholesky.Not_positive_definite] when the Gram matrix is
+   (numerically) rank deficient — including via an explicit pivot-ratio
+   guard, because a barely-positive pivot would silently produce a
+   garbage basis instead of failing over to Gram-Schmidt. *)
+let cholqr_pass y =
+  let rows, cols = Mat.dims y in
+  let g = Mat.mul_tn y y in
+  let l = Cholesky.factor g in
+  let dmin = ref infinity and dmax = ref 0.0 in
+  for j = 0 to cols - 1 do
+    let d = Mat.get l j j in
+    if d < !dmin then dmin := d;
+    if d > !dmax then dmax := d
+  done;
+  if cols > 0 && !dmin <= 1e-10 *. !dmax then raise Cholesky.Not_positive_definite;
+  let out = Mat.create rows cols in
+  let band lo hi =
+    for i = lo to hi - 1 do
+      let base = i * cols in
+      for j = 0 to cols - 1 do
+        let acc = ref y.Mat.data.(base + j) in
+        for k = 0 to j - 1 do
+          acc := !acc -. (Mat.get l j k *. out.Mat.data.(base + k))
+        done;
+        out.Mat.data.(base + j) <- !acc /. Mat.get l j j
+      done
+    done
+  in
+  let grain = max 1 (Mat.par_threshold_value () / max 1 (cols * cols)) in
+  Par.Pool.parallel_chunks ~grain 0 rows band;
+  out
+
+(* CholQR2: two Cholesky-QR passes cost two tall Gram products instead
+   of Gram-Schmidt's column-at-a-time sweeps — the difference between
+   minutes and sub-second on a million-row sketch — and the second pass
+   restores orthonormality to machine precision for moderately
+   conditioned input. Rank-deficient sketches (e.g. a pool whose true
+   rank undershoots the sketch width) fall back to the rank-revealing
+   Gram-Schmidt. *)
+let orthonormalize_fast y =
+  let _, cols = Mat.dims y in
+  if cols = 0 then y
+  else
+    match cholqr_pass (cholqr_pass y) with
+    | q -> q
+    | exception Cholesky.Not_positive_definite -> orthonormalize y
+
+(* Deterministic Gaussian sketch from a splitmix-style hash: drawn
+   serially so the factorization is reproducible at any pool size. *)
+let gaussian_mat ~seed rows cols =
   let state = ref (Int64.of_int (seed lxor 0x2545F491)) in
   let next_unit () =
     let z = Int64.add !state 0x9E3779B97F4A7C15L in
@@ -51,25 +115,72 @@ let factor ?(oversample = 8) ?(power_iters = 2) ~rank ~seed a =
     done;
     !acc /. sqrt 2.0
   in
-  let omega = Mat.init n sketch_cols (fun _ _ -> gaussian ()) in
-  (* range finder with power iterations: Y = (A A^T)^q A Omega. The
-     sketch applications (Mat.mul / Mat.mul_tn) run row-band parallel on
-     the domain pool; the sketch itself is drawn serially so the
-     factorization is reproducible at any pool size. *)
-  let y = ref (Mat.mul a omega) in
+  Mat.init rows cols (fun _ _ -> gaussian ())
+
+let empty ~rows ~cols = { u = Mat.create rows 0; s = [||]; v = Mat.create cols 0 }
+
+let factor_op ?(oversample = 8) ?(power_iters = 2) ~rank ~seed (op : op) =
+  if op.rows <= 0 || op.cols <= 0 then invalid_arg "Rsvd.factor_op: empty operator";
+  let k = max 1 (min rank (min op.rows op.cols)) in
+  let sketch_cols = min (min op.rows op.cols) (k + oversample) in
+  let omega = gaussian_mat ~seed op.cols sketch_cols in
+  (* range finder with power iterations: Y = (A A^T)^q A Omega, touching
+     A only through the operator's mul/tmul callbacks (sparse pools are
+     never densified) *)
+  let y = ref (op.mul omega) in
   for _ = 1 to power_iters do
-    let q = orthonormalize !y in
-    let z = Mat.mul_tn a q in          (* n x c *)
-    let qz = orthonormalize z in
-    y := Mat.mul a qz
+    let q = orthonormalize_fast !y in
+    let z = op.tmul q in
+    let qz = orthonormalize_fast z in
+    y := op.mul qz
   done;
-  let q = orthonormalize !y in         (* m x c *)
-  (* small problem: B = Q^T A (c x n) *)
-  let b = Mat.mul_tn q a in
-  let small = Svd.factor b in
-  let keep = min k (Array.length small.Svd.s) in
-  let u_small = Mat.sub_left_cols small.Svd.u keep in
-  let u = Mat.mul q u_small in
-  { u; s = Array.sub small.Svd.s 0 keep; v = Mat.sub_left_cols small.Svd.v keep }
+  let q = orthonormalize_fast !y in (* rows x c *)
+  let c = snd (Mat.dims q) in
+  if c = 0 then empty ~rows:op.rows ~cols:op.cols
+  else begin
+    (* small problem through the adjoint: B^T = A^T Q is cols x c (tall
+       only in the parameter count, never the pool size), and the exact
+       SVD B^T = W S Z^T gives A ~= (Q Z) S W^T. *)
+    let bt = op.tmul q in
+    let small = Svd.factor bt in
+    let keep = min k (Array.length small.Svd.s) in
+    let z_small = Mat.sub_left_cols small.Svd.v keep in
+    let u = Mat.mul q z_small in
+    { u; s = Array.sub small.Svd.s 0 keep; v = Mat.sub_left_cols small.Svd.u keep }
+  end
+
+let factor ?(oversample = 8) ?(power_iters = 2) ~rank ~seed a =
+  factor_op ~oversample ~power_iters ~rank ~seed (op_of_mat a)
+
+let default_tail_probes = 4
+
+let tail_fraction ~u ~aw ~total2 =
+  let proj = Mat.mul u (Mat.mul_tn u aw) in
+  let resid = Mat.sub aw proj in
+  let r = Mat.frobenius resid in
+  r *. r /. total2
+
+let factor_adaptive ?(oversample = 8) ?(power_iters = 2) ?(init_rank = 8)
+    ?max_rank ~tail_energy ~seed (op : op) =
+  if tail_energy <= 0.0 then invalid_arg "Rsvd.factor_adaptive: tail_energy must be positive";
+  let dim = min op.rows op.cols in
+  let cap = max 1 (min dim (Option.value ~default:dim max_rank)) in
+  (* Posterior tail estimate with fresh Gaussian probes (decorrelated
+     from the sketch stream): E ||(I - U U^T) A w||^2 over unit-variance
+     probes equals the squared Frobenius tail of A beyond range U, so
+     the ratio against ||A w||^2 estimates the tail-energy fraction. *)
+  let omega_p = gaussian_mat ~seed:(seed lxor 0x7a11bead) op.cols default_tail_probes in
+  let aw = op.mul omega_p in
+  let total = Mat.frobenius aw in
+  let total2 = total *. total in
+  if total2 <= 0.0 then (factor_op ~oversample ~power_iters ~rank:(min cap (max 1 init_rank)) ~seed op, 0.0)
+  else begin
+    let rec go k =
+      let f = factor_op ~oversample ~power_iters ~rank:k ~seed op in
+      let tail = tail_fraction ~u:f.u ~aw ~total2 in
+      if tail <= tail_energy || k >= cap then (f, tail) else go (min cap (2 * k))
+    in
+    go (min cap (max 1 init_rank))
+  end
 
 let to_svd { u; s; v } = { Svd.u; s; v }

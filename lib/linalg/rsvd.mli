@@ -1,12 +1,22 @@
-(** Randomized truncated SVD (Halko–Martinsson–Tropp).
+(** Randomized truncated SVD (Halko–Martinsson–Tropp) — the primary
+    selection engine for large path pools.
 
     A Gaussian range sketch with power iterations captures the leading
     [k]-dimensional subspace; the deterministic SVD of the projected
     [k + oversample]-column problem yields leading singular values and
     vectors far faster than the full Golub–Reinsch factorization when
     [k << min m n]. The paper's Algorithm 1 only needs the leading
-    [U_r], so this is a drop-in production accelerator for very large
-    path pools (ablation E8 measures the quality gap). *)
+    [U_r], and its Section 4.2 effective-rank observation (fast
+    singular-value decay) is precisely the regime where the sketch is
+    accurate — so {!Core.Select} runs on this by default above a
+    row-count threshold (ablation E8 and experiment E19 measure the
+    quality gap).
+
+    The factorization consumes its input only through {!op} mat-mul
+    callbacks, so a million-path pool held as a sparse incidence
+    product ({!Sparse}) is never densified. All kernels follow the PR 3
+    determinism contract: the sketch is drawn serially from the seed
+    and every parallel product is bit-identical at any pool size. *)
 
 type t = {
   u : Mat.t;   (** m x k *)
@@ -14,11 +24,58 @@ type t = {
   v : Mat.t;   (** n x k *)
 }
 
+type op = {
+  rows : int;
+  cols : int;
+  mul : Mat.t -> Mat.t;   (** [mul x] is [A * x], [x] is [cols x k] *)
+  tmul : Mat.t -> Mat.t;  (** [tmul y] is [A^T * y], [y] is [rows x k] *)
+}
+(** A linear operator in matrix-free form: the factorization only ever
+    multiplies by [A] and [A^T], so callers choose the storage (dense,
+    CSR, or an implicit product such as [G * Sigma]). *)
+
+val op_of_mat : Mat.t -> op
+
+val op_of_sparse : Sparse.t -> op
+
 val factor :
   ?oversample:int -> ?power_iters:int -> rank:int -> seed:int -> Mat.t -> t
 (** [factor ~rank ~seed a] approximates the leading [rank] singular
     triplets. Defaults: [oversample = 8], [power_iters = 2]. [rank] is
-    clamped to [min m n]. Deterministic in [seed]. *)
+    clamped to [min m n]. Deterministic in [seed]: the same seed yields
+    a bit-identical factorization (and hence selection) at any pool
+    size. Equivalent to [factor_op ... (op_of_mat a)]. *)
+
+val factor_op :
+  ?oversample:int -> ?power_iters:int -> rank:int -> seed:int -> op -> t
+(** Operator-form {!factor}: the blocked Gaussian range finder touches
+    [A] only through [op.mul]/[op.tmul]. The orthonormalization is
+    CholQR2 (two Cholesky-QR passes — two tall Gram products instead of
+    column-at-a-time Gram-Schmidt) with a rank-revealing Gram-Schmidt
+    fallback on numerically rank-deficient sketches; the small
+    projected problem is an exact {!Svd.factor} of [A^T Q]
+    ([cols x sketch] — never pool-sized). Raises [Invalid_argument] on
+    an empty operator. *)
+
+val factor_adaptive :
+  ?oversample:int ->
+  ?power_iters:int ->
+  ?init_rank:int ->
+  ?max_rank:int ->
+  tail_energy:float ->
+  seed:int ->
+  op ->
+  t * float
+(** [factor_adaptive ~tail_energy ~seed op] grows the sketch rank
+    geometrically (from [init_rank], default 8, doubling up to
+    [max_rank], default [min rows cols]) until the estimated fraction
+    of squared Frobenius energy outside the captured range drops to
+    [tail_energy]. The estimate uses a handful of fresh Gaussian
+    probes [w]: E ||(I - U U^T) A w||^2 / ||A w||^2 is an unbiased
+    tail-energy ratio, so no exact factorization is ever needed.
+    Returns the factorization and the achieved tail fraction.
+    Deterministic in [seed]. Raises [Invalid_argument] when
+    [tail_energy <= 0]. *)
 
 val to_svd : t -> Svd.t
 (** Repackage as a (truncated) {!Svd.t} so downstream code (subset

@@ -48,6 +48,54 @@ let of_rows cols rows =
   row_ptr.(n) <- !k;
   { rows = n; cols; row_ptr; col_idx; values }
 
+let init_rows ~rows ~cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.init_rows: negative dimension";
+  let cap = ref (max 16 rows) in
+  let col_idx = ref (Array.make !cap 0) in
+  let values = ref (Array.make !cap 0.0) in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let k = ref 0 in
+  let ensure n =
+    if n > !cap then begin
+      let cap' = ref !cap in
+      while n > !cap' do
+        cap' := 2 * !cap'
+      done;
+      let ci = Array.make !cap' 0 and vs = Array.make !cap' 0.0 in
+      Array.blit !col_idx 0 ci 0 !k;
+      Array.blit !values 0 vs 0 !k;
+      col_idx := ci;
+      values := vs;
+      cap := !cap'
+    end
+  in
+  for i = 0 to rows - 1 do
+    row_ptr.(i) <- !k;
+    let entries =
+      List.sort (fun (j1, _) (j2, _) -> compare j1 j2) (f i)
+    in
+    List.iter
+      (fun (j, v) ->
+        if j < 0 || j >= cols then invalid_arg "Sparse.init_rows: column out of range";
+        if !k > row_ptr.(i) && !col_idx.(!k - 1) = j then
+          !values.(!k - 1) <- !values.(!k - 1) +. v
+        else begin
+          ensure (!k + 1);
+          !col_idx.(!k) <- j;
+          !values.(!k) <- v;
+          incr k
+        end)
+      entries
+  done;
+  row_ptr.(rows) <- !k;
+  {
+    rows;
+    cols;
+    row_ptr;
+    col_idx = Array.sub !col_idx 0 !k;
+    values = Array.sub !values 0 !k;
+  }
+
 let of_dense ?(tol = 0.0) m =
   let rows, cols = Mat.dims m in
   let lists =
@@ -122,6 +170,82 @@ let mul_dense_nt x a =
       out.Mat.data.(obase + r) <- !acc
     done
   done;
+  out
+
+(* Rows per chunk so one chunk is ~[Mat.par_threshold_value] flops; when
+   the whole kernel fits in one grain, [parallel_chunks] degenerates to
+   the serial loop. Each output row is produced by exactly one chunk in
+   CSR entry order, so the kernels below are bit-identical at any pool
+   size (the PR 3 determinism contract). *)
+let spmv_grain a per_col =
+  let avg_row_flops = 2 * per_col * (nnz a / max 1 a.rows) in
+  max 1 (Mat.par_threshold_value () / max 1 avg_row_flops)
+
+let mul_vec a x =
+  if Array.length x <> a.cols then invalid_arg "Sparse.mul_vec: dimension mismatch";
+  let y = Array.make a.rows 0.0 in
+  let band lo hi =
+    for i = lo to hi - 1 do
+      let acc = ref 0.0 in
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (a.values.(k) *. x.(a.col_idx.(k)))
+      done;
+      y.(i) <- !acc
+    done
+  in
+  Par.Pool.parallel_chunks ~grain:(spmv_grain a 1) 0 a.rows band;
+  y
+
+let mul_mat a x =
+  let xr, xc = Mat.dims x in
+  if xr <> a.cols then invalid_arg "Sparse.mul_mat: dimension mismatch";
+  let out = Mat.create a.rows xc in
+  let band lo hi =
+    for i = lo to hi - 1 do
+      let obase = i * xc in
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        let v = a.values.(k) in
+        let xbase = a.col_idx.(k) * xc in
+        for c = 0 to xc - 1 do
+          out.Mat.data.(obase + c) <-
+            out.Mat.data.(obase + c) +. (v *. x.Mat.data.(xbase + c))
+        done
+      done
+    done
+  in
+  Par.Pool.parallel_chunks ~grain:(spmv_grain a xc) 0 a.rows band;
+  out
+
+let tmul_mat a x =
+  let xr, xc = Mat.dims x in
+  if xr <> a.rows then invalid_arg "Sparse.tmul_mat: dimension mismatch";
+  let out = Mat.create a.cols xc in
+  (* The natural CSR traversal scatters into output rows, which races
+     under row-band parallelism. Instead parallelize over bands of
+     *dense columns*: every chunk scans the whole CSR once but writes a
+     disjoint column slice of [out], keeping the accumulation order per
+     output element fixed at any pool size. The extra CSR scans are
+     bounded by the chunk count, so the grain keeps bands wide. *)
+  let flops_per_col = 2 * nnz a in
+  let grain =
+    max
+      (Mat.par_threshold_value () / max 1 flops_per_col)
+      ((xc + 7) / 8)
+  in
+  let band clo chi =
+    for i = 0 to a.rows - 1 do
+      let xbase = i * xc in
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        let v = a.values.(k) in
+        let obase = a.col_idx.(k) * xc in
+        for c = clo to chi - 1 do
+          out.Mat.data.(obase + c) <-
+            out.Mat.data.(obase + c) +. (v *. x.Mat.data.(xbase + c))
+        done
+      done
+    done
+  in
+  Par.Pool.parallel_chunks ~grain:(max 1 grain) 0 xc band;
   out
 
 let row_norms2 a =

@@ -23,6 +23,14 @@ val of_rows : int -> (int * float) list array -> t
     duplicate columns within a row are summed. Raises
     [Invalid_argument] on out-of-range columns. *)
 
+val init_rows : rows:int -> cols:int -> (int -> (int * float) list) -> t
+(** Row-streamed constructor: [f i] produces row [i]'s (column, value)
+    entries, which are appended to growable CSR buffers immediately —
+    peak memory is the CSR itself plus one row's entries, so a
+    million-row incidence matrix never exists in any denser form.
+    Duplicate columns within a row are summed (sorted-merge order).
+    Raises [Invalid_argument] on out-of-range columns. *)
+
 val dims : t -> int * int
 
 val nnz : t -> int
@@ -38,6 +46,24 @@ val apply : t -> Vec.t -> Vec.t
 
 val apply_t : t -> Vec.t -> Vec.t
 (** Transpose apply. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** {!apply}, row-band parallel on the {!Par.Pool} when the flop count
+    clears [Mat.par_threshold_value]. Bit-identical to {!apply} at any
+    pool size. *)
+
+val mul_mat : t -> Mat.t -> Mat.t
+(** [mul_mat a x] is the CSR x dense product [a * x] ([a] is [m x n],
+    [x] is [n x k], result [m x k]). Row-band parallel over CSR rows;
+    bit-identical at any pool size. This is the randomized range
+    finder's forward kernel. *)
+
+val tmul_mat : t -> Mat.t -> Mat.t
+(** [tmul_mat a y] is [transpose a * y] ([y] is [m x k], result
+    [n x k]) without materializing the transpose. Parallel over bands
+    of dense columns (disjoint output slices), so the scatter stays
+    deterministic at any pool size. The range finder's adjoint
+    kernel. *)
 
 val mul_dense_nt : Mat.t -> t -> Mat.t
 (** [mul_dense_nt x a] is [x * transpose a] with [x] dense [n x m] and

@@ -286,7 +286,8 @@ let check_finite op a =
     for j = 0 to n - 1 do
       if not (Float.is_finite (Mat.get a i j)) then
         invalid_arg
-          (Printf.sprintf "%s: non-finite entry at (%d, %d)" op i j)
+          (Printf.sprintf "%s: non-finite entry %g at (%d, %d) of %dx%d input"
+             op (Mat.get a i j) i j m n)
     done
   done
 

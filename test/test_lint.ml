@@ -67,6 +67,12 @@ let monitor_condwait_bad = "let f c m = Condition.wait c m"
 let monitor_join_bad = "let f t = Thread.join t"
 let monitor_select_bad = "let f fd = Unix.select [ fd ] [] [] 0.25"
 
+let dense_pool_bad = "let f sp = Linalg.Sparse.to_dense sp"
+let dense_pool_mat_bad = "let f rows = Linalg.Mat.of_rows rows"
+
+let dense_pool_good =
+  "let f t x = Linalg.Sparse.mul_mat t.g (Linalg.Sparse.mul_mat t.sigma x)"
+
 let monitor_atomic_good =
   "let q = Atomic.make []\n\
    let push x =\n\
@@ -153,6 +159,19 @@ let unit_tests =
     ( "no-blocking-in-monitor silent on lock-free Atomic code",
       check_silent "no-blocking-in-monitor" ~path:"lib/serve/monitor.ml"
         monitor_atomic_good );
+    (* no-dense-pool: the streaming pool front-end must stay CSR and be
+       consumed through the mat-mul operator *)
+    ( "no-dense-pool fires on Sparse.to_dense",
+      check_fires "no-dense-pool" ~path:"lib/timing/pool_stream.ml"
+        dense_pool_bad );
+    ( "no-dense-pool fires on Mat.of_rows",
+      check_fires "no-dense-pool" ~path:"lib/timing/pool_stream.ml"
+        dense_pool_mat_bad );
+    ( "no-dense-pool silent on CSR mat-mul",
+      check_silent "no-dense-pool" ~path:"lib/timing/pool_stream.ml"
+        dense_pool_good );
+    ( "no-dense-pool silent outside the streaming front-end",
+      check_silent "no-dense-pool" ~path:"lib/timing/paths.ml" dense_pool_bad );
     (* suppression comments *)
     ( "suppression silences a rule",
       check_silent "no-float-eq" ("(* lint: allow no-float-eq *)\n" ^ float_eq_bad) );

@@ -63,11 +63,31 @@ let with_server ?config ?reload_from f =
   in
   Fun.protect
     ~finally:(fun () ->
-      (try
-         let c = Serve.Client.connect ~retries:5 addr in
-         Serve.Client.shutdown c;
-         Serve.Client.close c
-       with _ -> ());
+      (* the teardown connection can itself be shed when a bounded-queue
+         test leaves the queue full (unix connect succeeds before accept):
+         the server answers "overloaded" instead of executing the
+         shutdown, and a single blind attempt would leave the join below
+         blocked forever — retry until the drain is actually acked *)
+      let shutdown_acked () =
+        try
+          let c = Serve.Client.connect ~retries:5 addr in
+          let r =
+            Serve.Client.request c
+              (Serve.Wire.Obj [ ("op", Serve.Wire.String "shutdown") ])
+          in
+          Serve.Client.close c;
+          match r with
+          | Ok j -> Serve.Wire.member "ok" j = Some (Serve.Wire.Bool true)
+          | Error _ -> false
+        with _ -> false
+      in
+      let rec ask tries =
+        if (not (shutdown_acked ())) && tries > 0 then begin
+          Thread.delay 0.1;
+          ask (tries - 1)
+        end
+      in
+      ask 50;
       Thread.join thread;
       (try Sys.remove path with Sys_error _ -> ());
       try Unix.rmdir dir with Unix.Unix_error _ -> ())

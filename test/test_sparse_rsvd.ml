@@ -71,6 +71,145 @@ let test_sparse_tol_drop () =
   Alcotest.(check int) "tiny entry dropped" 1 (Linalg.Sparse.nnz s)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming builder and the parallel CSR kernels *)
+
+let test_init_rows_matches_of_rows () =
+  let rows =
+    [| [ (3, 1.5); (0, -2.0) ]; []; [ (1, 4.0); (1, -1.0); (4, 0.5) ] |]
+  in
+  let a = Linalg.Sparse.of_rows 5 rows in
+  let b = Linalg.Sparse.init_rows ~rows:3 ~cols:5 (fun i -> rows.(i)) in
+  Alcotest.(check bool) "init_rows = of_rows" true
+    (Linalg.Sparse.equal_dense b (Linalg.Sparse.to_dense a))
+
+let test_init_rows_out_of_range () =
+  Alcotest.check_raises "column out of range"
+    (Invalid_argument "Sparse.init_rows: column out of range")
+    (fun () ->
+      ignore (Linalg.Sparse.init_rows ~rows:1 ~cols:4 (fun _ -> [ (4, 1.0) ])))
+
+let test_mul_vec_matches_dense () =
+  let d = random_sparse_dense 9 13 0.35 in
+  let s = Linalg.Sparse.of_dense d in
+  let x = Array.init 13 (fun i -> float_of_int (i - 6) /. 3.0) in
+  Alcotest.(check bool) "mul_vec = dense apply" true
+    (Linalg.Vec.equal ~tol:1e-12 (Linalg.Mat.apply d x) (Linalg.Sparse.mul_vec s x))
+
+let test_mul_mat_matches_dense () =
+  let d = random_sparse_dense 8 11 0.35 in
+  let s = Linalg.Sparse.of_dense d in
+  let x = Linalg.Mat.init 11 5 (fun i j -> float_of_int ((i * 5) + j) /. 7.0) in
+  Alcotest.(check bool) "mul_mat = dense mul" true
+    (Linalg.Mat.equal ~tol:1e-12 (Linalg.Mat.mul d x) (Linalg.Sparse.mul_mat s x))
+
+let test_tmul_mat_matches_dense () =
+  let d = random_sparse_dense 8 11 0.35 in
+  let s = Linalg.Sparse.of_dense d in
+  let y = Linalg.Mat.init 8 4 (fun i j -> float_of_int ((i * 4) + j) /. 9.0) in
+  Alcotest.(check bool) "tmul_mat = dense mul_tn" true
+    (Linalg.Mat.equal ~tol:1e-12 (Linalg.Mat.mul_tn d y) (Linalg.Sparse.tmul_mat s y))
+
+(* PR-3 discipline: the banded kernels must be bit-identical at any
+   pool size, including with the grain threshold forced low enough that
+   the parallel path actually runs. *)
+let with_forced_parallel sizes f =
+  let saved_threshold = Linalg.Mat.par_threshold_value () in
+  let saved_domains = Par.Pool.size () in
+  Linalg.Mat.set_par_threshold 1;
+  Fun.protect ~finally:(fun () ->
+      Linalg.Mat.set_par_threshold saved_threshold;
+      Par.Pool.set_size saved_domains)
+  @@ fun () ->
+  List.map
+    (fun d ->
+      Par.Pool.set_size d;
+      f ())
+    sizes
+
+let test_kernels_pool_size_invariant () =
+  let d = random_sparse_dense 17 23 0.3 in
+  let s = Linalg.Sparse.of_dense d in
+  let x = Linalg.Mat.init 23 6 (fun i j -> sin (float_of_int ((i * 6) + j))) in
+  let y = Linalg.Mat.init 17 6 (fun i j -> cos (float_of_int ((i * 6) + j))) in
+  let v = Array.init 23 (fun i -> float_of_int (i mod 5) -. 2.0) in
+  (match with_forced_parallel [ 1; 2; 4 ] (fun () -> Linalg.Sparse.mul_mat s x) with
+   | r1 :: rest ->
+     List.iter
+       (fun r ->
+         Alcotest.(check bool) "mul_mat bit-identical" true
+           (Linalg.Mat.equal ~tol:0.0 r1 r))
+       rest
+   | [] -> assert false);
+  (match with_forced_parallel [ 1; 2; 4 ] (fun () -> Linalg.Sparse.tmul_mat s y) with
+   | r1 :: rest ->
+     List.iter
+       (fun r ->
+         Alcotest.(check bool) "tmul_mat bit-identical" true
+           (Linalg.Mat.equal ~tol:0.0 r1 r))
+       rest
+   | [] -> assert false);
+  match with_forced_parallel [ 1; 2; 4 ] (fun () -> Linalg.Sparse.mul_vec s v) with
+  | r1 :: rest ->
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "mul_vec bit-identical" true
+          (Linalg.Vec.equal ~tol:0.0 r1 r))
+      rest
+  | [] -> assert false
+
+(* random CSR row structure with empty rows and duplicate columns; the
+   dense reference accumulates duplicates in the same sorted-column
+   order the CSR merge uses, so comparisons can stay tight *)
+let qcheck_rows_gen =
+  QCheck.Gen.(
+    let entry cols = pair (int_bound (cols - 1)) (float_range (-2.0) 2.0) in
+    let* rows = int_range 1 8 in
+    let* cols = int_range 1 9 in
+    let* data = array_size (return rows) (list_size (int_bound 6) (entry cols)) in
+    return (rows, cols, data))
+
+let qcheck_rows =
+  QCheck.make
+    ~print:(fun (rows, cols, data) ->
+      Printf.sprintf "%dx%d %s" rows cols
+        (String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (fun l ->
+                   "["
+                   ^ String.concat ","
+                       (List.map (fun (j, v) -> Printf.sprintf "(%d,%g)" j v) l)
+                   ^ "]")
+                 data))))
+    qcheck_rows_gen
+
+let dense_of_row_lists rows cols data =
+  let m = Linalg.Mat.create rows cols in
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun (j, v) -> Linalg.Mat.set m i j (Linalg.Mat.get m i j +. v))
+        (List.stable_sort (fun (a, _) (b, _) -> compare a b) l))
+    data;
+  m
+
+let prop_sparse_kernels_match_dense =
+  QCheck.Test.make ~count:100
+    ~name:"CSR mul_vec/mul_mat/tmul_mat match dense refs (dups, empty rows)"
+    qcheck_rows
+    (fun (rows, cols, data) ->
+      let s = Linalg.Sparse.init_rows ~rows ~cols (fun i -> data.(i)) in
+      let d = dense_of_row_lists rows cols data in
+      let x = Linalg.Mat.init cols 3 (fun i j -> sin (float_of_int ((i * 3) + j))) in
+      let y = Linalg.Mat.init rows 3 (fun i j -> cos (float_of_int ((i * 3) + j))) in
+      let v = Array.init cols (fun i -> float_of_int (i - 2)) in
+      Linalg.Sparse.equal_dense ~tol:1e-12 s d
+      && Linalg.Vec.equal ~tol:1e-9 (Linalg.Sparse.mul_vec s v) (Linalg.Mat.apply d v)
+      && Linalg.Mat.equal ~tol:1e-9 (Linalg.Sparse.mul_mat s x) (Linalg.Mat.mul d x)
+      && Linalg.Mat.equal ~tol:1e-9 (Linalg.Sparse.tmul_mat s y)
+           (Linalg.Mat.mul_tn d y))
+
+(* ------------------------------------------------------------------ *)
 (* Randomized SVD *)
 
 let test_rsvd_low_rank_exact () =
@@ -164,6 +303,184 @@ let prop_rsvd_values_below_exact =
         approx.Linalg.Rsvd.s;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Operator-form factorization and the streaming pool *)
+
+let test_factor_op_matches_dense () =
+  (* the sparse operator route and the dense route agree on the leading
+     spectrum of a fast-decaying full-rank matrix (per-column distinct
+     frequencies keep the columns independent) *)
+  let d =
+    Linalg.Mat.init 60 20 (fun i j ->
+        exp (-0.4 *. float_of_int j)
+        *. sin (float_of_int i *. (0.31 +. (0.17 *. float_of_int j))))
+  in
+  let s = Linalg.Sparse.of_dense d in
+  let dense = Linalg.Rsvd.factor ~rank:6 ~seed:21 d in
+  let viaop =
+    Linalg.Rsvd.factor_op ~rank:6 ~seed:21 (Linalg.Rsvd.op_of_sparse s)
+  in
+  Alcotest.(check int) "same rank kept" (Array.length dense.Linalg.Rsvd.s)
+    (Array.length viaop.Linalg.Rsvd.s);
+  (* the two routes sum in different orders (blocked dense vs CSR), so
+     agreement is tight but not bitwise *)
+  Array.iteri
+    (fun i sd ->
+      let rel = Float.abs (sd -. viaop.Linalg.Rsvd.s.(i)) /. Float.max 1e-12 sd in
+      if rel > 1e-6 then
+        Alcotest.failf "route mismatch at s%d: %.3g vs %.3g" i sd
+          viaop.Linalg.Rsvd.s.(i))
+    dense.Linalg.Rsvd.s;
+  let exact = Linalg.Svd.factor d in
+  for i = 0 to min 3 (Array.length viaop.Linalg.Rsvd.s - 1) do
+    let rel =
+      Float.abs (exact.Linalg.Svd.s.(i) -. viaop.Linalg.Rsvd.s.(i))
+      /. Float.max 1e-12 exact.Linalg.Svd.s.(i)
+    in
+    if rel > 0.02 then Alcotest.failf "s%d off by %.2f%%" i (100.0 *. rel)
+  done
+
+let test_factor_adaptive_clears_tail () =
+  (* decay slow enough that the default init rank of 8 leaves > 1% of
+     the energy in the tail, forcing at least one doubling *)
+  let d =
+    Linalg.Mat.init 80 30 (fun i j ->
+        exp (-0.15 *. float_of_int j)
+        *. cos (float_of_int i *. (0.23 +. (0.11 *. float_of_int j))))
+  in
+  let ops = Linalg.Rsvd.op_of_mat d in
+  let f, tail = Linalg.Rsvd.factor_adaptive ~tail_energy:0.01 ~seed:4 ops in
+  Alcotest.(check bool) "tail cleared" true (tail <= 0.01);
+  Alcotest.(check bool) "rank grew beyond init" true
+    (Array.length f.Linalg.Rsvd.s > 8);
+  let f2, tail2 = Linalg.Rsvd.factor_adaptive ~tail_energy:0.01 ~seed:4 ops in
+  Alcotest.(check bool) "deterministic in the seed" true
+    (Linalg.Vec.equal ~tol:0.0 f.Linalg.Rsvd.s f2.Linalg.Rsvd.s
+    && Float.equal tail tail2)
+
+(* a small circuit pool built both ways: the sparse streaming builder
+   must reproduce Paths.build column-for-column *)
+let small_pool () =
+  let nl =
+    Circuit.Generator.generate
+      { Circuit.Generator.default with num_gates = 120; seed = 17 }
+  in
+  let model = Timing.Variation.make_model ~levels:2 () in
+  let setup = Core.Pipeline.prepare ~yield_samples:100 ~netlist:nl ~model () in
+  setup
+
+let test_pool_stream_matches_paths_build () =
+  let setup = small_pool () in
+  let dm = setup.Core.Pipeline.dm in
+  let result =
+    Timing.Path_extract.extract dm ~t_cons:setup.Core.Pipeline.t_cons
+      ~yield_threshold:setup.Core.Pipeline.yield_threshold
+  in
+  let paths = result.Timing.Path_extract.paths in
+  let dense = Timing.Paths.build dm paths in
+  let stream = Timing.Pool_stream.of_paths dm paths in
+  Alcotest.(check int) "paths" (Timing.Paths.num_paths dense)
+    (Timing.Pool_stream.num_paths stream);
+  Alcotest.(check int) "segments" (Timing.Paths.num_segments dense)
+    (Timing.Pool_stream.num_segments stream);
+  Alcotest.(check int) "vars" (Timing.Paths.num_vars dense)
+    (Timing.Pool_stream.num_vars stream);
+  Alcotest.(check bool) "G matches" true
+    (Linalg.Sparse.equal_dense (Timing.Pool_stream.g stream)
+       (Timing.Paths.g_mat dense));
+  Alcotest.(check bool) "Sigma matches" true
+    (Linalg.Sparse.equal_dense ~tol:1e-12 (Timing.Pool_stream.sigma stream)
+       (Timing.Paths.sigma_mat dense));
+  Alcotest.(check bool) "mu matches" true
+    (Linalg.Vec.equal ~tol:1e-9 (Timing.Pool_stream.mu stream)
+       (Timing.Paths.mu_paths dense));
+  let n = Timing.Paths.num_paths dense in
+  let all = Array.init n (fun i -> i) in
+  Alcotest.(check bool) "implicit A rows match A = G*Sigma" true
+    (Linalg.Mat.equal ~tol:1e-9
+       (Timing.Pool_stream.rows_dense stream all)
+       (Timing.Paths.a_mat dense))
+
+let test_sketched_engine_matches_exact_selection () =
+  (* on a pool with fast decay the sketched engine reproduces the exact
+     engine's representative set (verified end-to-end on demo90 too) *)
+  let setup = small_pool () in
+  let a = Timing.Paths.a_mat setup.Core.Pipeline.pool in
+  let mu = Timing.Paths.mu_paths setup.Core.Pipeline.pool in
+  let ex =
+    Core.Select.approximate ~engine:Core.Select.Exact ~a ~mu ~eps:0.05
+      ~t_cons:setup.Core.Pipeline.t_cons ()
+  in
+  let sk =
+    Core.Select.approximate ~engine:Core.Select.Sketched ~a ~mu ~eps:0.05
+      ~t_cons:setup.Core.Pipeline.t_cons ()
+  in
+  Alcotest.(check bool) "sketched meets the same tolerance" true
+    (sk.Core.Select.eps_r <= 0.05);
+  Alcotest.(check bool) "selection size within 2x of exact" true
+    (Array.length sk.Core.Select.indices
+    <= max 2 (2 * Array.length ex.Core.Select.indices));
+  let sk2 =
+    Core.Select.approximate ~engine:Core.Select.Sketched ~a ~mu ~eps:0.05
+      ~t_cons:setup.Core.Pipeline.t_cons ()
+  in
+  Alcotest.(check bool) "sketched selection deterministic" true
+    (sk.Core.Select.indices = sk2.Core.Select.indices)
+
+let test_sketch_config_validation () =
+  (* a nonpositive fixed rank must be rejected, not clamped to a silent
+     rank-1 sketch with degraded selections *)
+  let setup = small_pool () in
+  let a = Timing.Paths.a_mat setup.Core.Pipeline.pool in
+  let mu = Timing.Paths.mu_paths setup.Core.Pipeline.pool in
+  let bad field sketch =
+    Alcotest.check_raises field (Invalid_argument ("Select: " ^ field))
+      (fun () ->
+        ignore
+          (Core.Select.approximate ~engine:Core.Select.Sketched ~sketch ~a ~mu
+             ~eps:0.05 ~t_cons:setup.Core.Pipeline.t_cons ()))
+  in
+  let d = Core.Select.default_sketch in
+  bad "sketch_rank must be >= 1" { d with Core.Select.sketch_rank = Some 0 };
+  bad "oversample must be >= 0" { d with Core.Select.oversample = -1 };
+  bad "power_iters must be >= 0" { d with Core.Select.power_iters = -2 };
+  Alcotest.check_raises "streaming entry validates too"
+    (Invalid_argument "Select: sketch_rank must be >= 1")
+    (fun () ->
+      let pool =
+        Timing.Pool_stream.synthetic ~seed:3 ~paths:50 ~segments:20 ~vars:10
+          ~segs_per_path:4 ~vars_per_seg:2 ()
+      in
+      ignore
+        (Core.Select.sketch_representatives
+           ~sketch:{ d with Core.Select.sketch_rank = Some (-1) }
+           ~ops:(Timing.Pool_stream.op pool) ()))
+
+let test_sketch_representatives_synthetic () =
+  let pool =
+    Timing.Pool_stream.synthetic ~seed:5 ~paths:3000 ~segments:300 ~vars:150
+      ~segs_per_path:6 ~vars_per_seg:3 ()
+  in
+  let st =
+    Core.Select.sketch_representatives ~ops:(Timing.Pool_stream.op pool) ()
+  in
+  let idx = st.Core.Select.stream_indices in
+  Alcotest.(check bool) "non-empty selection" true (Array.length idx > 0);
+  let sorted = Array.copy idx in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "indices sorted and in range" true
+    (idx = sorted && idx.(0) >= 0
+    && idx.(Array.length idx - 1) < Timing.Pool_stream.num_paths pool);
+  let distinct = Array.length idx = List.length (List.sort_uniq compare (Array.to_list idx)) in
+  Alcotest.(check bool) "indices distinct" true distinct;
+  Alcotest.(check bool) "adaptive tail recorded" true
+    (Float.is_finite st.Core.Select.tail_fraction);
+  let st2 =
+    Core.Select.sketch_representatives ~ops:(Timing.Pool_stream.op pool) ()
+  in
+  Alcotest.(check bool) "deterministic" true
+    (st.Core.Select.stream_indices = st2.Core.Select.stream_indices)
+
 let unit_tests =
   [
     ("sparse: dense roundtrip", test_sparse_roundtrip);
@@ -174,19 +491,33 @@ let unit_tests =
     ("sparse: row norms", test_sparse_row_norms);
     ("sparse: density", test_sparse_density);
     ("sparse: tolerance drop", test_sparse_tol_drop);
+    ("sparse: init_rows matches of_rows", test_init_rows_matches_of_rows);
+    ("sparse: init_rows rejects bad column", test_init_rows_out_of_range);
+    ("sparse: mul_vec vs dense", test_mul_vec_matches_dense);
+    ("sparse: mul_mat vs dense", test_mul_mat_matches_dense);
+    ("sparse: tmul_mat vs dense", test_tmul_mat_matches_dense);
+    ("sparse: kernels pool-size invariant", test_kernels_pool_size_invariant);
     ("rsvd: exact on low rank", test_rsvd_low_rank_exact);
     ("rsvd: leading values close", test_rsvd_leading_values_close);
     ("rsvd: orthonormal U", test_rsvd_orthonormal_u);
     ("rsvd: deterministic", test_rsvd_deterministic);
     ("rsvd: feeds Algorithm 2", test_rsvd_subset_selection_compatible);
+    ("rsvd: operator route matches dense", test_factor_op_matches_dense);
+    ("rsvd: adaptive clears the tail", test_factor_adaptive_clears_tail);
+    ("stream: Pool_stream matches Paths.build", test_pool_stream_matches_paths_build);
+    ("select: sketched engine vs exact", test_sketched_engine_matches_exact_selection);
+    ("select: sketch config validation", test_sketch_config_validation);
+    ("select: sketch_representatives on synthetic", test_sketch_representatives_synthetic);
   ]
 
 let property_tests =
-  List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_rsvd_values_below_exact ]
+  List.map
+    (fun t -> QCheck_alcotest.to_alcotest t)
+    [ prop_rsvd_values_below_exact; prop_sparse_kernels_match_dense ]
 
 let suites =
   [
-    ( "sparse+rsvd",
+    ( "sparse-rsvd",
       List.map (fun (name, f) -> Alcotest.test_case name `Quick f) unit_tests
       @ property_tests );
   ]

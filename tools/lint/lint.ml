@@ -35,6 +35,8 @@ type config = {
       (* the timeout-wrapped helpers themselves: the only raw-I/O homes *)
   monitor_files : string list;
       (* the monitor/reselect thread: must stay lock-free and non-blocking *)
+  dense_pool_banned_files : string list;
+      (* the streaming pool front-end: must never densify the pool *)
 }
 
 let default_config =
@@ -46,6 +48,7 @@ let default_config =
     io_checked_dirs = [ "lib/serve/"; "lib/chaos/" ];
     io_wrapper_files = [ "lib/serve/io.ml" ];
     monitor_files = [ "lib/serve/monitor.ml" ];
+    dense_pool_banned_files = [ "lib/timing/pool_stream.ml" ];
   }
 
 let rules =
@@ -78,6 +81,11 @@ let rules =
       Error,
       "Mutex/Condition/Thread.join or blocking waits in the monitor/reselect \
        path (stay lock-free; publish through Atomic snapshots)" );
+    ( "no-dense-pool",
+      Error,
+      "Sparse.to_dense / Mat.of_arrays / Mat.to_arrays / Mat.of_rows in the \
+       streaming pool front-end (pools must stay CSR; consume them through \
+       the mat-mul operator)" );
   ]
 
 let severity_of_rule r =
@@ -343,6 +351,18 @@ let check_expr ctx (e : expression) =
              so share state through Atomic snapshots and let the caller own \
              all waiting"
             m fn)
+     | Some p
+       when is_any ctx.path ctx.cfg.dense_pool_banned_files
+            && (match List.rev p with
+                | "to_dense" :: "Sparse" :: _ -> true
+                | ("of_arrays" | "to_arrays" | "of_rows") :: "Mat" :: _ -> true
+                | _ -> false) ->
+       emit ctx "no-dense-pool" e.pexp_loc
+         (Printf.sprintf
+            "%s in the streaming pool front-end: a million-path pool must \
+             never be densified — keep it CSR and consume it through the \
+             Rsvd mat-mul operator (Pool_stream.op)"
+            (String.concat "." p))
      | Some [ ("exit" | "failwith") as fn ] when in_lib ctx ->
        emit ctx "no-exit" e.pexp_loc
          (Printf.sprintf

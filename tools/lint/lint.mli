@@ -1,6 +1,6 @@
 (** Project-specific static analysis over OCaml sources (untyped AST).
 
-    Nine rules guard the invariants the parallel numeric core and the
+    Ten rules guard the invariants the parallel numeric core and the
     serving layer depend on; see {!rules} for the list and
     {!default_config} for the allowlists. A comment [(* lint: allow rule-a rule-b *)] anywhere in
     a file suppresses those rules for that file. *)
@@ -29,6 +29,11 @@ type config = {
       (** the monitor/reselect thread: no locks, joins or blocking waits
           ([no-blocking-in-monitor]) — the self-healing loop shares
           state with the serving path through Atomic snapshots only *)
+  dense_pool_banned_files : string list;
+      (** the streaming pool front-end: no [Sparse.to_dense] or
+          [Mat.of_arrays]/[Mat.to_arrays]/[Mat.of_rows]
+          ([no-dense-pool]) — million-path pools must stay CSR and be
+          consumed through the mat-mul operator *)
 }
 
 val default_config : config
