@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke sketch-smoke lint tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 doc clean
+.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke sketch-smoke lint analyze tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 doc clean
 
 all: build
 
@@ -18,9 +18,17 @@ smoke:
 
 # Project static analysis: tools/lint/pathsel-lint over lib/, bin/ and
 # bench/. Non-zero exit on any unsuppressed error-severity diagnostic.
-# Also attached to `dune runtest`, so tier-1 enforces it.
+# Also attached to `dune runtest`, so tier-1 enforces it. @lint now
+# includes @analyze, so `make lint` runs both engines.
 lint:
 	dune build @lint
+
+# Whole-program typedtree analysis: tools/lint/pathsel-analyze over the
+# .cmt files of lib/ (interprocedural race/atomics discipline, blocking
+# reachability, fd-leak tracking). Needs a built tree for the .cmts;
+# the driver skips with a message when they are missing.
+analyze:
+	dune build @analyze
 
 # Run the parallel test suite under ThreadSanitizer where the
 # toolchain supports it (OCaml >= 5.2 configured with --enable-tsan);

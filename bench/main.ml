@@ -148,6 +148,17 @@ let micro_tests () =
              Timing.Monte_carlo.sample (Rng.create 5) setup.Core.Pipeline.pool ~n:500
            in
            ignore (Timing.Monte_carlo.path_delays mc)));
+    (* cold whole-program analysis of the built lib/ tree (the summary
+       cache is disabled so every run re-reads all cmts); measures the
+       cost `make analyze` adds to the CI gate. No-op when the cmts are
+       missing, e.g. a bench binary run outside the repo root. *)
+    Test.make ~name:"tooling:pathsel-analyze-lib-tree"
+      (Staged.stage (fun () ->
+           match Analysis.find_cmts "_build/default/lib" with
+           | [] -> ()
+           | cmts ->
+             let config = { Analysis.default_config with summary_cache = None } in
+             ignore (Analysis.analyze_cmts ~config cmts)));
   ]
 
 let run_micro () =

@@ -182,6 +182,22 @@ let unit_tests =
       check_silent "no-exit"
         ("(* lint: allow no-float-eq no-exit *)\n" ^ float_eq_bad ^ "\n" ^ failwith_bad)
     );
+    (* line-scoped suppression: allow-next covers exactly the line
+       after the comment, for exactly the named rule *)
+    ( "allow-next silences the next line",
+      check_silent "no-float-eq" ("(* lint: allow-next no-float-eq *)\n" ^ float_eq_bad)
+    );
+    ( "allow-next does not reach past one line",
+      check_fires "no-float-eq"
+        ("(* lint: allow-next no-float-eq *)\nlet ok = 1\n" ^ float_eq_bad) );
+    ( "allow-next silences only the named rule",
+      check_silent "no-float-eq"
+        "(* lint: allow-next no-float-eq *)\n\
+         let f x = if x = 1.0 then failwith \"boom\" else ()" );
+    ( "allow-next leaves other rules on the line live",
+      check_fires "no-exit"
+        "(* lint: allow-next no-float-eq *)\n\
+         let f x = if x = 1.0 then failwith \"boom\" else ()" );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -223,6 +239,89 @@ let test_json_output () =
   in
   Alcotest.(check bool) "rule field" true (has "\"rule\":\"no-float-eq\"");
   Alcotest.(check bool) "severity field" true (has "\"severity\":\"error\"")
+
+(* The JSON renderer must survive a real parser, not just a substring
+   check: escaping bugs (quotes, backslashes, control bytes) are
+   exactly the class a round-trip through [Serve.Wire.parse] catches. *)
+let test_json_roundtrip () =
+  let d =
+    {
+      Lint.rule = "no-float-eq";
+      severity = Lint.Error;
+      file = "lib/odd \"name\"\\dir.ml";
+      line = 3;
+      col = 7;
+      message = "quote \" backslash \\ newline \n tab \t control \x01 end";
+    }
+  in
+  match Serve.Wire.parse (Lint.render_json [ d ]) with
+  | Error e -> Alcotest.failf "render_json output is not valid JSON: %s" e
+  | Ok (Serve.Wire.List [ obj ]) ->
+    let str k =
+      match Serve.Wire.member k obj with
+      | Some (Serve.Wire.String s) -> s
+      | _ -> Alcotest.failf "missing string field %s" k
+    in
+    Alcotest.(check string) "message round-trips" d.Lint.message (str "message");
+    Alcotest.(check string) "file round-trips" d.Lint.file (str "file");
+    Alcotest.(check string) "rule round-trips" d.Lint.rule (str "rule");
+    Alcotest.(check bool) "line round-trips" true
+      (Serve.Wire.member "line" obj = Some (Serve.Wire.Int 3));
+    Alcotest.(check bool) "col round-trips" true
+      (Serve.Wire.member "col" obj = Some (Serve.Wire.Int 7))
+  | Ok _ -> Alcotest.fail "expected a one-element JSON array"
+
+(* SARIF 2.1.0: the minimal shape CI annotators consume, validated
+   field-by-field after a parse. Regions are 1-based, ours are 0-based
+   columns — the renderer owns the + 1. *)
+let test_sarif_shape () =
+  let d =
+    {
+      Lint.rule = "no-float-eq";
+      severity = Lint.Warning;
+      file = "lib/a.ml";
+      line = 2;
+      col = 4;
+      message = "float \"eq\"";
+    }
+  in
+  let open Serve.Wire in
+  let get k j =
+    match member k j with Some v -> v | None -> Alcotest.failf "missing field %s" k
+  in
+  match parse (Lint.render_sarif ~tool:"pathsel-lint" ~rules:Lint.rules [ d ]) with
+  | Error e -> Alcotest.failf "render_sarif output is not valid JSON: %s" e
+  | Ok j ->
+    Alcotest.(check bool) "version" true (member "version" j = Some (String "2.1.0"));
+    let run =
+      match get "runs" j with
+      | List [ r ] -> r
+      | _ -> Alcotest.fail "expected exactly one run"
+    in
+    let driver = get "driver" (get "tool" run) in
+    Alcotest.(check bool) "tool name" true
+      (member "name" driver = Some (String "pathsel-lint"));
+    (match get "rules" driver with
+     | List rules ->
+       Alcotest.(check int) "rule table is complete" (List.length Lint.rules)
+         (List.length rules)
+     | _ -> Alcotest.fail "expected a rule array");
+    let result =
+      match get "results" run with
+      | List [ r ] -> r
+      | _ -> Alcotest.fail "expected exactly one result"
+    in
+    Alcotest.(check bool) "ruleId" true
+      (member "ruleId" result = Some (String "no-float-eq"));
+    Alcotest.(check bool) "level" true (member "level" result = Some (String "warning"));
+    let region =
+      match get "locations" result with
+      | List [ l ] -> get "region" (get "physicalLocation" l)
+      | _ -> Alcotest.fail "expected exactly one location"
+    in
+    Alcotest.(check bool) "startLine" true (member "startLine" region = Some (Int 2));
+    Alcotest.(check bool) "startColumn is 1-based" true
+      (member "startColumn" region = Some (Int 5))
 
 let test_syntax_error () =
   let diags = lint "let let let" in
@@ -298,6 +397,8 @@ let engine_tests =
     ("checks: predictor contracts hold", test_checks_predictor_dims);
     ("locations point at the construct", test_locations);
     ("json output", test_json_output);
+    ("json round-trips through the wire parser", test_json_roundtrip);
+    ("sarif output shape", test_sarif_shape);
     ("syntax errors become diagnostics", test_syntax_error);
     ("every violation is reported", test_double_violation_counts);
     ("repo tree is lint-clean", test_repo_tree_is_clean);

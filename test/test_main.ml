@@ -6,5 +6,6 @@ let () =
      @ Test_par.suites
      @ Test_robust.suites @ Test_store.suites @ Test_refit.suites
      @ Test_drift.suites @ Test_serve.suites @ Test_monitor.suites
-     @ Test_chaos.suites @ Test_lint.suites @ Test_yield.suites
+     @ Test_chaos.suites @ Test_lint.suites @ Test_analysis.suites
+     @ Test_yield.suites
      @ Test_tune.suites)

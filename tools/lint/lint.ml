@@ -10,7 +10,10 @@
    dependency-free and fast.
 
    Suppression: a comment [(* lint: allow rule-a rule-b *)] anywhere in
-   a file silences those rules for that file. *)
+   a file silences those rules for that file; [(* lint: allow-next
+   rule *)] silences a rule for the next source line only. Both forms
+   are honored by this engine and by the typedtree analyzer
+   (pathsel-analyze, see analysis.ml). *)
 
 type severity = Error | Warning
 
@@ -132,37 +135,81 @@ let in_any p dirs = List.exists (path_under p) dirs
 let is_any p files = List.exists (path_is p) files
 
 (* ------------------------------------------------------------------ *)
-(* Suppression comments: (* lint: allow rule-a rule-b *) *)
+(* Suppression comments.
+
+   Two scopes:
+     (* lint: allow rule-a rule-b *)       whole file
+     (* lint: allow-next rule-a rule-b *)  the next source line only
+
+   The line-scoped form goes on the line immediately above the
+   construct it excuses, next to its justification, so one annotated
+   exception cannot silently blanket the rest of the file. *)
+
+type suppressions = {
+  file_wide : string list;
+  next_line : (int * string) list;
+      (* (line of the comment, rule): suppresses [rule] on [line + 1] *)
+}
+
+let no_suppressions = { file_wide = []; next_line = [] }
 
 let rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
 
-let suppressed_rules src =
-  let out = ref [] in
+let suppressions_of_source src =
+  let acc = ref no_suppressions in
   let n = String.length src in
+  let line = ref 1 in
   let key = "lint:" in
-  let rec find_key i =
-    if i + 5 > n then ()
-    else if String.sub src i 5 = key then after_key (i + 5)
-    else find_key (i + 1)
-  and after_key i =
+  let skip_ws i =
+    let i = ref i in
+    while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+      incr i
+    done;
+    !i
+  in
+  let starts_with i s = i + String.length s <= n && String.sub src i (String.length s) = s in
+  (* collect whitespace-separated rule names after the keyword; stops at
+     the first token that is not a rule name (e.g. "*)") *)
+  let rec collect scope i =
     let i = skip_ws i in
-    if i + 5 <= n && String.sub src i 5 = "allow" then collect (i + 5)
-    else find_key i
-  and skip_ws i = if i < n && (src.[i] = ' ' || src.[i] = '\t') then skip_ws (i + 1) else i
-  and collect i =
-    let i = skip_ws i in
-    if i >= n || not (rule_char src.[i]) then find_key i
+    if i >= n || not (rule_char src.[i]) then i
     else begin
       let j = ref i in
       while !j < n && rule_char src.[!j] do
         incr j
       done;
-      out := String.sub src i (!j - i) :: !out;
-      collect !j
+      let rule = String.sub src i (!j - i) in
+      (match scope with
+       | `File -> acc := { !acc with file_wide = rule :: !acc.file_wide }
+       | `Next l -> acc := { !acc with next_line = (l, rule) :: !acc.next_line });
+      collect scope !j
     end
   in
-  find_key 0;
-  !out
+  let i = ref 0 in
+  while !i < n do
+    if src.[!i] = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if starts_with !i key then begin
+      let j = skip_ws (!i + String.length key) in
+      (* "allow-next" must be tried first: "allow" is its prefix and a
+         naive match would read "-next" as the first rule name *)
+      if starts_with j "allow-next" then i := collect (`Next !line) (j + 10)
+      else if starts_with j "allow" then i := collect `File (j + 5)
+      else i := j
+    end
+    else incr i
+  done;
+  !acc
+
+let suppressed sup (d : diagnostic) =
+  List.mem d.rule sup.file_wide
+  || List.exists
+       (fun (line, rule) -> rule = d.rule && d.line = line + 1)
+       sup.next_line
+
+let filter_suppressed sup diags = List.filter (fun d -> not (suppressed sup d)) diags
 
 (* ------------------------------------------------------------------ *)
 (* AST helpers *)
@@ -459,10 +506,7 @@ let lint_source ?(config = default_config) ~path src =
         message = "lexer error";
       }
       :: ctx.diags);
-  let suppressed = suppressed_rules src in
-  let kept =
-    List.filter (fun d -> not (List.mem d.rule suppressed)) ctx.diags
-  in
+  let kept = filter_suppressed (suppressions_of_source src) ctx.diags in
   List.sort
     (fun a b ->
       match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
@@ -523,5 +567,40 @@ let render_json diags =
       (json_escape d.rule) (json_escape d.message)
   in
   "[" ^ String.concat "," (List.map item diags) ^ "]"
+
+(* SARIF 2.1.0, the minimal shape CI diff-annotators consume: one run,
+   the rule table under tool.driver.rules, one result per diagnostic.
+   Shared by pathsel-lint and pathsel-analyze (the [tool] name and rule
+   table differ). SARIF regions are 1-based in both coordinates; our
+   columns are 0-based, hence the + 1. *)
+let render_sarif ~tool ~rules diags =
+  let buf = Buffer.create 4096 in
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  Buffer.add_string buf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{";
+  Buffer.add_string buf (Printf.sprintf "\"name\":%s,\"rules\":[" (str tool));
+  List.iteri
+    (fun i (name, _, doc) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"id\":%s,\"shortDescription\":{\"text\":%s}}"
+           (str name) (str doc)))
+    rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\
+            \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+            {\"uri\":%s},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+           (str d.rule)
+           (str (severity_string d.severity))
+           (str d.message) (str d.file) d.line (d.col + 1)))
+    diags;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf
 
 let has_errors diags = List.exists (fun d -> d.severity = Error) diags

@@ -2,8 +2,12 @@
 
     Ten rules guard the invariants the parallel numeric core and the
     serving layer depend on; see {!rules} for the list and
-    {!default_config} for the allowlists. A comment [(* lint: allow rule-a rule-b *)] anywhere in
-    a file suppresses those rules for that file. *)
+    {!default_config} for the allowlists. A comment
+    [(* lint: allow rule-a rule-b *)] anywhere in a file suppresses
+    those rules for that file; [(* lint: allow-next rule *)] suppresses
+    a rule on the next source line only. The diagnostic, rendering and
+    suppression machinery here is shared with the whole-program
+    typedtree analyzer ({!Analysis}, the pathsel-analyze engine). *)
 
 type severity = Error | Warning
 
@@ -60,4 +64,44 @@ val render_text : diagnostic -> string
 val render_json : diagnostic list -> string
 (** JSON array of diagnostic objects, for machine consumption. *)
 
+val render_sarif :
+  tool:string -> rules:(string * severity * string) list -> diagnostic list -> string
+(** SARIF 2.1.0 (one run, located results), for CI diff annotation.
+    [tool] names the driver ("pathsel-lint" / "pathsel-analyze") and
+    [rules] is its rule table. *)
+
 val has_errors : diagnostic list -> bool
+
+(** {2 Suppression comments}
+
+    Shared by both engines: the syntactic linter applies them to the
+    source it just parsed, and the typedtree analyzer reads the source
+    file named by each [.cmt] to honor the same comments. *)
+
+type suppressions = {
+  file_wide : string list;  (** [(* lint: allow rule ... *)] *)
+  next_line : (int * string) list;
+      (** [(line, rule)] from [(* lint: allow-next rule ... *)]: the
+          rule is suppressed on [line + 1] only *)
+}
+
+val no_suppressions : suppressions
+val suppressions_of_source : string -> suppressions
+val filter_suppressed : suppressions -> diagnostic list -> diagnostic list
+
+(** {2 Path classification and file helpers} (shared with {!Analysis}) *)
+
+val normalize : string -> string
+(** backslashes to slashes, leading "./" stripped *)
+
+val path_is : string -> string -> bool
+(** [path_is p f]: [p] names file [f], exactly or as a
+    component-boundary suffix. *)
+
+val path_under : string -> string -> bool
+(** [path_under p dir]: [p] lives under directory [dir] at any depth. *)
+
+val in_any : string -> string list -> bool
+(** [in_any p dirs = List.exists (path_under p) dirs] *)
+
+val read_file : string -> string

@@ -1,8 +1,11 @@
-(* CLI driver for the project linter. Exits 1 when any error-severity
-   diagnostic survives suppression, 0 otherwise (warnings don't fail
-   the build). *)
+(* CLI driver for the whole-program typedtree analyzer. Reads the
+   .cmt files dune produced under the given roots (default: lib),
+   analyzes them as one program, and exits 1 when any error-severity
+   diagnostic survives suppression. When no .cmt files are found it
+   prints a skip message and exits 0, so the gate degrades cleanly on
+   trees that were never built. *)
 
-let usage = "pathsel-lint [--format=text|json|sarif] [--root DIR] [path ...]"
+let usage = "pathsel-analyze [--format=text|json|sarif] [--root DIR] [cmt-dir ...]"
 
 type format = Text | Json | Sarif
 
@@ -40,13 +43,11 @@ let () =
       print_endline "rules:";
       List.iter
         (fun (name, sev, doc) ->
-          Printf.printf "  %-22s %-7s %s\n" name
-            (Lint.severity_string sev)
-            doc)
-        Lint.rules;
+          Printf.printf "  %-22s %-7s %s\n" name (Lint.severity_string sev) doc)
+        Analysis.rules;
       exit 0
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
-      prerr_endline ("pathsel-lint: unknown option " ^ arg);
+      prerr_endline ("pathsel-analyze: unknown option " ^ arg);
       prerr_endline usage;
       exit 64
     | p :: rest ->
@@ -55,14 +56,27 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   (match !root with Some d -> Sys.chdir d | None -> ());
-  let paths =
-    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  let roots =
+    match List.rev !paths with
+    | [] ->
+      (* repo root keeps its artifacts under _build/default; inside a
+         dune action the cwd is the build tree itself *)
+      if Sys.file_exists "_build/default/lib" then [ "_build/default/lib" ] else [ "lib" ]
+    | ps -> ps
   in
-  let diags = Lint.lint_paths paths in
+  let cmts = List.concat_map Analysis.find_cmts roots in
+  if cmts = [] then begin
+    Printf.printf
+      "pathsel-analyze: no .cmt files under %s — build first (dune build); skipping \
+       whole-program analysis\n"
+      (String.concat ", " roots);
+    exit 0
+  end;
+  let diags = Analysis.analyze_cmts cmts in
   (match !format with
    | Json -> print_endline (Lint.render_json diags)
    | Sarif ->
-     print_endline (Lint.render_sarif ~tool:"pathsel-lint" ~rules:Lint.rules diags)
+     print_endline (Lint.render_sarif ~tool:"pathsel-analyze" ~rules:Analysis.rules diags)
    | Text ->
      List.iter (fun d -> print_endline (Lint.render_text d)) diags;
      let errs =
@@ -70,8 +84,9 @@ let () =
      in
      let warns = List.length diags - errs in
      if diags <> [] then
-       Printf.printf "%d error%s, %d warning%s\n" errs
+       Printf.printf "%d error%s, %d warning%s (over %d modules)\n" errs
          (if errs = 1 then "" else "s")
          warns
-         (if warns = 1 then "" else "s"));
+         (if warns = 1 then "" else "s")
+         (List.length cmts));
   exit (if Lint.has_errors diags then 1 else 0)
