@@ -1,6 +1,6 @@
 # Convenience wrappers over dune; `make smoke` is the CI fast path.
 
-.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke sketch-smoke lint analyze tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 doc clean
+.PHONY: all build test smoke perf-smoke chaos-smoke drift-smoke yield-smoke sketch-smoke recover-smoke lint analyze tsan-smoke bench bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 bench-e20 doc clean
 
 all: build
 
@@ -79,6 +79,15 @@ bench-e18:
 bench-e19:
 	dune exec bench/main.exe -- e19
 
+# E20 kill/recovery soak: repeated random SIGKILLs of a durability-armed
+# server under live observe/predict traffic; each restart recovers from
+# the last checkpoint plus the WAL suffix. Zero acked-but-lost
+# observations, recovered state equal (1e-12) to an uninterrupted
+# reference, recovery within one reselect cooldown; emits BENCH_e20.json
+# in the repo root.
+bench-e20:
+	dune exec bench/main.exe -- e20
+
 # Scaled-down E15 as a CI gate (< 30s): fails if any parallel kernel is
 # not bit-identical to serial, or (on hosts with >= 2 cores) if the
 # 4-domain matmul speedup falls below 2x. Single-core hosts check
@@ -113,6 +122,13 @@ yield-smoke:
 # exact engine at the same selection size.
 sketch-smoke:
 	dune exec bench/main.exe -- --sketch-smoke
+
+# Quick E20 as a CI gate: a short kill/recovery soak -- every armed
+# SIGKILL must land mid-traffic, no acked observation may be lost, the
+# recovered monitor/refit/drift state must match an uninterrupted
+# reference, and every restart must answer within the recovery bound.
+recover-smoke:
+	dune exec bench/main.exe -- --recover-smoke
 
 doc:
 	dune build @doc

@@ -238,13 +238,17 @@ let experiments : (string * string * (Experiments.Profile.t -> unit)) list =
     ( "e19",
       "E19 -- sketched million-path selection: quality vs exact, wall-clock scaling",
       fun p -> ignore (Experiments.Sketch_exp.run ~out:"BENCH_e19.json" p) );
+    ( "e20",
+      "E20 -- kill/recovery soak: WAL + checkpoint durability under SIGKILL",
+      fun p -> ignore (Experiments.Recover_exp.run ~out:"BENCH_e20.json" p) );
     ("micro", "micro-benchmarks", fun _ -> run_micro ());
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [%s|all] [--full] [--smoke] [--chaos-smoke] \
-     [--drift-smoke] [--yield-smoke] [--sketch-smoke] [--domains N]\n"
+     [--drift-smoke] [--yield-smoke] [--sketch-smoke] [--recover-smoke] \
+     [--domains N]\n"
     (String.concat "|" (List.map (fun (name, _, _) -> name) experiments));
   exit 1
 
@@ -256,11 +260,13 @@ let () =
   let drift_smoke = List.mem "--drift-smoke" args in
   let yield_smoke = List.mem "--yield-smoke" args in
   let sketch_smoke = List.mem "--sketch-smoke" args in
+  let recover_smoke = List.mem "--recover-smoke" args in
   let args =
     List.filter
       (fun a ->
         a <> "--full" && a <> "--smoke" && a <> "--chaos-smoke"
-        && a <> "--drift-smoke" && a <> "--yield-smoke" && a <> "--sketch-smoke")
+        && a <> "--drift-smoke" && a <> "--yield-smoke" && a <> "--sketch-smoke"
+        && a <> "--recover-smoke")
       args
   in
   let args =
@@ -310,6 +316,14 @@ let () =
   if sketch_smoke then begin
     let r = Experiments.Sketch_exp.run ~smoke:true profile in
     exit (if r.Experiments.Sketch_exp.ok then 0 else 1)
+  end;
+  (* [--recover-smoke] is the CI gate for the durability layer: a short
+     E20 kill/recovery soak — repeated random SIGKILLs under live
+     traffic, zero acked-but-lost observations, recovered state equal
+     to an uninterrupted reference, bounded recovery time *)
+  if recover_smoke then begin
+    let r = Experiments.Recover_exp.run profile in
+    exit (if r.Experiments.Recover_exp.ok then 0 else 1)
   end;
   let what = match args with [] -> "all" | [ w ] -> w | _ -> usage () in
   Printf.printf "profile: %s\n" profile.Experiments.Profile.name;

@@ -631,9 +631,29 @@ let serve_cmd =
              ~doc:"Minimum wall-clock spacing between re-selection attempts \
                    (failures back off exponentially from here).")
   in
+  let wal_dir =
+    Arg.(value & opt string Serve.default_durability.Serve.wal_dir
+         & info [ "wal-dir" ] ~docv:"DIR"
+             ~doc:"Directory holding the observation write-ahead log and the \
+                   recovery checkpoint (created if missing). Only meaningful \
+                   with $(b,--monitor).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int Serve.default_durability.Serve.checkpoint_every
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Journaled observations between monitor checkpoints: \
+                   smaller recovers faster, larger checkpoints less often.")
+  in
+  let no_durability =
+    Arg.(value & flag
+         & info [ "no-durability" ]
+             ~doc:"Disable the observe WAL and checkpointed recovery that \
+                   $(b,--monitor) arms by default: acknowledged observations \
+                   then die with the process.")
+  in
   let run () path socket port max_batch workers queue deadline idle_timeout
       max_line self_check monitor drift_warn drift_threshold calibrate min_dies
-      reselect_cooldown =
+      reselect_cooldown wal_dir checkpoint_every no_durability =
    handle @@ fun () ->
     let artifact =
       match Store.load path with Ok a -> a | Error e -> Core.Errors.raise_error e
@@ -651,9 +671,17 @@ let serve_cmd =
                 Stats.Drift.warn = drift_warn;
                 drift = drift_threshold } }
     in
+    (* durability rides the monitor (the WAL journals its observation
+       stream), so --monitor arms it by default; --no-durability opts a
+       fleet member out, e.g. on scratch disks *)
+    let durability =
+      if (not monitor) || no_durability then None
+      else
+        Some { Serve.default_durability with Serve.wal_dir; checkpoint_every }
+    in
     let config =
       { Serve.max_batch; workers; queue; deadline; idle_timeout; max_line;
-        monitor = monitor_config }
+        monitor = monitor_config; durability }
     in
     let addr = address ~socket ~port in
     if self_check then begin
@@ -701,7 +729,7 @@ let serve_cmd =
     Term.(const run $ runtime_arg $ artifact_pos $ socket_arg $ port_arg $ max_batch
           $ workers $ queue $ deadline $ idle_timeout $ max_line $ self_check
           $ monitor $ drift_warn $ drift_threshold $ calibrate $ min_dies
-          $ reselect_cooldown)
+          $ reselect_cooldown $ wal_dir $ checkpoint_every $ no_durability)
 
 (* one die per line, comma- or space-separated; empty, nan or null
    marks a missing entry — shared by client predict/observe and tune *)

@@ -365,3 +365,68 @@ let stop t =
   List.iter Thread.join conns;
   close_quiet t.lfd;
   t.cleanup ()
+
+(* ------------------------------------------------------------------ *)
+(* Process-level killer *)
+
+(* The proxy above mangles bytes; this kills the whole process. Arming
+   one against a server under live traffic lands the SIGKILL at a
+   uniformly random point in whatever the server happens to be doing —
+   mid-WAL-append, mid-fsync, between a checkpoint's temp-file write and
+   its rename — which is exactly the distribution of crashes the
+   durability layer claims to survive. SIGKILL is deliberate: it cannot
+   be caught, so no shutdown path gets a chance to tidy up. *)
+module Killer = struct
+  type t = {
+    delay : float; (* the drawn fire time, seconds after arm *)
+    cancelled : bool Atomic.t;
+    did_fire : bool Atomic.t;
+    thread : Thread.t;
+  }
+
+  let arm ?(seed = 1) ~min_delay ~max_delay pid =
+    if
+      not
+        (Float.is_finite min_delay && Float.is_finite max_delay
+       && min_delay >= 0.0 && max_delay >= min_delay)
+    then invalid_arg "Chaos.Killer: need 0 <= min_delay <= max_delay";
+    let rng = Rng.create seed in
+    let delay =
+      if max_delay > min_delay then Rng.uniform rng min_delay max_delay
+      else min_delay
+    in
+    let cancelled = Atomic.make false in
+    let did_fire = Atomic.make false in
+    let thread =
+      Thread.create
+        (fun () ->
+          (* sleep in short slices so [cancel] takes effect promptly *)
+          let deadline = Unix.gettimeofday () +. delay in
+          let rec wait () =
+            if not (Atomic.get cancelled) then begin
+              let left = deadline -. Unix.gettimeofday () in
+              if left > 0.0 then begin
+                Unix.sleepf (Float.min left 0.01);
+                wait ()
+              end
+              else begin
+                Atomic.set did_fire true;
+                try Unix.kill pid Sys.sigkill
+                with Unix.Unix_error _ -> () (* already gone: still a kill point *)
+              end
+            end
+          in
+          wait ())
+        ()
+    in
+    { delay; cancelled; did_fire; thread }
+
+  let delay t = t.delay
+
+  let fired t = Atomic.get t.did_fire
+
+  let cancel t =
+    Atomic.set t.cancelled true;
+    Thread.join t.thread;
+    Atomic.get t.did_fire
+end

@@ -80,3 +80,36 @@ val stats : t -> stats
 val stop : t -> unit
 (** Stop accepting, join all pump threads, close and clean up the
     listening socket. *)
+
+(** {1 Process-level killer}
+
+    The proxy mangles bytes; this kills processes. Arming a killer
+    against a server under live traffic lands a SIGKILL at a uniformly
+    random point in whatever the server is doing — mid-WAL-append,
+    mid-fsync, between a checkpoint's temp write and its rename — the
+    crash distribution the durability layer claims to survive. SIGKILL
+    cannot be caught, so no shutdown path gets to tidy up. The E20
+    kill/recovery soak drives repeated arm→kill→restart cycles. *)
+module Killer : sig
+  type t
+
+  val arm : ?seed:int -> min_delay:float -> max_delay:float -> int -> t
+  (** [arm ~min_delay ~max_delay pid] starts a thread that SIGKILLs
+      [pid] after a delay drawn uniformly from
+      [\[min_delay, max_delay\]] seconds ([seed] makes the draw
+      deterministic). A pid already gone when the timer fires is
+      ignored — the kill point still counts. Raises [Invalid_argument]
+      unless [0 <= min_delay <= max_delay], both finite. *)
+
+  val delay : t -> float
+  (** The drawn fire time, seconds after [arm]. *)
+
+  val fired : t -> bool
+  (** Whether the SIGKILL has been sent (racy by nature: a [false] may
+      be stale by the time you read it). *)
+
+  val cancel : t -> bool
+  (** Disarm (if the timer has not fired yet) and join the timer
+      thread; returns whether the kill had already been sent. Always
+      call it — an unjoined timer thread outlives its soak cycle. *)
+end

@@ -100,6 +100,64 @@ let observe t ~measured ~truth =
     true
   end
 
+(* ------------------------------------------------------------------ *)
+(* Durability: the whole state is four matrices and five counters.
+   Snapshots deep-copy so a checkpoint writer can encode them while
+   the live state keeps accumulating dies. *)
+
+type snapshot = {
+  snap_r : int;
+  snap_m : int;
+  snap_resync_every : int;
+  snap_g : Mat.t;
+  snap_c : Mat.t;
+  snap_l : Mat.t;
+  snap_count : int;
+  snap_skipped : int;
+  snap_since_resync : int;
+  snap_resyncs : int;
+}
+
+let snapshot t =
+  {
+    snap_r = t.r;
+    snap_m = t.m;
+    snap_resync_every = t.resync_every;
+    snap_g = Mat.copy t.g;
+    snap_c = Mat.copy t.c;
+    snap_l = Mat.copy t.l;
+    snap_count = t.count;
+    snap_skipped = t.skipped;
+    snap_since_resync = t.since_resync;
+    snap_resyncs = t.resyncs;
+  }
+
+let restore s =
+  if s.snap_r < 1 || s.snap_m < 1 then
+    invalid_arg "Refit.restore: bad dimensions";
+  let d = s.snap_r + 1 in
+  let check name mat rows cols =
+    let a, b = Mat.dims mat in
+    if a <> rows || b <> cols then
+      invalid_arg (Printf.sprintf "Refit.restore: %s shape mismatch" name)
+  in
+  check "gram" s.snap_g d d;
+  check "cross" s.snap_c d s.snap_m;
+  check "factor" s.snap_l d d;
+  {
+    r = s.snap_r;
+    m = s.snap_m;
+    d;
+    resync_every = s.snap_resync_every;
+    g = Mat.copy s.snap_g;
+    c = Mat.copy s.snap_c;
+    l = Mat.copy s.snap_l;
+    count = s.snap_count;
+    skipped = s.snap_skipped;
+    since_resync = s.snap_since_resync;
+    resyncs = s.snap_resyncs;
+  }
+
 let solve_with t l =
   let cols =
     Array.init t.m (fun j -> Cholesky.solve l (Mat.col t.c j))

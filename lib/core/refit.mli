@@ -68,6 +68,39 @@ val predict : coefficients:Linalg.Mat.t -> measured:Linalg.Mat.t -> Linalg.Mat.t
     {!coefficients} to a [k x r] batch of measured dies, returning
     [k x m] predictions. *)
 
+(** {2 Durability}
+
+    The entire refit state is the accumulated moments, the maintained
+    factor, and five counters: {!snapshot} deep-copies them into an
+    inert record a checkpoint writer can serialize, and {!restore}
+    rebuilds a [t] that continues {e bit-exactly} where the snapshot
+    was taken — [observe]-ing the same suffix of dies into a restored
+    state and into the original yields identical coefficients
+    (property-tested in [test/test_monitor.ml] via the monitor-level
+    recovery property). *)
+
+type snapshot = {
+  snap_r : int;
+  snap_m : int;
+  snap_resync_every : int;
+  snap_g : Linalg.Mat.t;  (** exact Gram, [(r+1) x (r+1)] *)
+  snap_c : Linalg.Mat.t;  (** exact cross-moments, [(r+1) x m] *)
+  snap_l : Linalg.Mat.t;  (** maintained Cholesky factor *)
+  snap_count : int;
+  snap_skipped : int;
+  snap_since_resync : int;
+  snap_resyncs : int;
+}
+
+val snapshot : t -> snapshot
+(** Deep copy of the live state; safe to serialize while the original
+    keeps observing. *)
+
+val restore : snapshot -> t
+(** Rebuild a refit from a snapshot (deep-copying it, so the snapshot
+    may be reused). Raises [Invalid_argument] on inconsistent
+    dimensions. *)
+
 val resync : t -> unit
 (** Refactorize the maintained Cholesky factor exactly from the
     accumulated Gram, zeroing accumulated rank-1 rounding error. *)

@@ -1,0 +1,532 @@
+type result = {
+  bench : string;
+  n_paths : int;
+  cycles : int;
+  kills : int;
+  batches_sent : int;
+  acked_dies : int;
+  journaled : int;
+  observed_final : int;
+  lost_acked : int;
+  wrong_answers : int;
+  clean_failures : int;
+  max_recovery_s : float;
+  recovery_bound_s : float;
+  state_match : bool;
+  generations : int list;
+  gen_monotonic : bool;
+  server_clean_exit : bool;
+  ok : bool;
+}
+
+let eps = 0.05
+
+(* restart-to-first-answer budget: artifact load + checkpoint load + WAL
+   replay + listen. One reselect cooldown (the monitor's 5 s default —
+   recovery replays without reselecting, so that is the only pacing a
+   crash can add) plus startup margin. *)
+let recovery_bound_s = 10.0
+
+let bits_equal m1 m2 =
+  Linalg.Mat.dims m1 = Linalg.Mat.dims m2
+  &&
+  let r, c = Linalg.Mat.dims m1 in
+  try
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        if
+          Int64.bits_of_float (Linalg.Mat.get m1 i j)
+          <> Int64.bits_of_float (Linalg.Mat.get m2 i j)
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+let int_member resp key =
+  match Serve.Wire.member key resp with Some (Serve.Wire.Int n) -> n | _ -> 0
+
+let float_member resp key =
+  match Serve.Wire.member key resp with
+  | Some (Serve.Wire.Float x) -> x
+  | Some (Serve.Wire.Int n) -> float_of_int n
+  | _ -> Float.nan
+
+let string_member resp key =
+  match Serve.Wire.member key resp with Some (Serve.Wire.String s) -> s | _ -> ""
+
+let json_of_result r =
+  let open Core.Report in
+  let timing_note =
+    if Host.cores () = 1 then
+      "1-core host: recovery_s includes serial replay; the durability \
+       invariants (lost_acked, wrong_answers, state_match) are \
+       core-independent"
+    else "multi-core host"
+  in
+  Obj
+    ([ ("experiment", String "E20") ]
+    @ Host.fields ()
+    @ [
+      ("bench", String r.bench);
+      ("timing_note", String timing_note);
+      ("n_paths", Int r.n_paths);
+      ("cycles", Int r.cycles);
+      ("kills", Int r.kills);
+      ("batches_sent", Int r.batches_sent);
+      ("acked_dies", Int r.acked_dies);
+      ("journaled", Int r.journaled);
+      ("observed_final", Int r.observed_final);
+      ("lost_acked", Int r.lost_acked);
+      ("wrong_answers", Int r.wrong_answers);
+      ("clean_failures", Int r.clean_failures);
+      ("max_recovery_s", Float r.max_recovery_s);
+      ("recovery_bound_s", Float r.recovery_bound_s);
+      ("state_match", Bool r.state_match);
+      ("generations", List (List.map (fun g -> Int g) r.generations));
+      ("gen_monotonic", Bool r.gen_monotonic);
+      ("server_clean_exit", Bool r.server_clean_exit);
+      ("ok", Bool r.ok);
+    ])
+
+(* Mirror of the server's observe handler over one batch: same MAD
+   screen, same predictor apply, same residual arithmetic — bit-exact,
+   so the parent can rebuild the journal's record contents from the
+   send stream alone (see the journal-content reconstruction note in
+   [run]). *)
+let batch_obs ~predictor ~robust ~rep ~rem ~measured ~truth =
+  let n_dies, n_rep = Linalg.Mat.dims measured in
+  let n_rem = Array.length rem in
+  let n_paths = n_rep + n_rem in
+  let screen = Core.Robust.screen robust ~measured in
+  let pred = Core.Predictor.predict_all predictor ~measured in
+  let out = ref [] in
+  for i = 0 to n_dies - 1 do
+    let clean = ref (Array.for_all (fun b -> b) screen.Core.Robust.mask.(i)) in
+    for j = 0 to n_rem - 1 do
+      if not (Float.is_finite (Linalg.Mat.get truth i j)) then clean := false
+    done;
+    if !clean then begin
+      let m_row = Linalg.Mat.row measured i in
+      let t_row = Linalg.Mat.row truth i in
+      let full = Array.make n_paths 0.0 in
+      Array.iteri (fun j p -> full.(p) <- m_row.(j)) rep;
+      Array.iteri (fun j p -> full.(p) <- t_row.(j)) rem;
+      let resid = ref 0.0 in
+      for j = 0 to n_rem - 1 do
+        resid := !resid +. (t_row.(j) -. Linalg.Mat.get pred i j)
+      done;
+      out :=
+        {
+          Serve.Monitor.measured = m_row;
+          truth = t_row;
+          full;
+          resid = !resid /. float_of_int n_rem;
+          wafer = "";
+        }
+        :: !out
+    end
+  done;
+  List.rev !out
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ()
+  end
+
+let run ?(oc = stdout) ?out profile =
+  let quick = profile.Profile.name <> "full" in
+  let cycles = if quick then 6 else 20 in
+  let batch = 8 in
+  let stream_rows = 1024 in
+  let final_batches = 10 in
+  let bench_name = "s1423" in
+  Printf.fprintf oc
+    "E20: kill/recovery soak (%s; %d SIGKILL->restart cycles under live \
+     observe+predict traffic, WAL + checkpoint recovery)\n%!"
+    bench_name cycles;
+  (* the killer lands mid-request by design; writes into the dead
+     server's socket must surface as EPIPE errors, not kill this
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let preset =
+    match Circuit.Benchmarks.find bench_name with
+    | Some p -> p
+    | None ->
+      Core.Errors.raise_error
+        (Core.Errors.Invalid_input "Recover_exp: s1423 preset missing")
+  in
+  let _, setup =
+    Table1.setup_for profile preset ~t_cons_scale:1.0
+      ~max_paths:profile.Profile.max_paths
+  in
+  let sel = Core.Pipeline.approximate_selection setup ~eps in
+  let pool = setup.Core.Pipeline.pool in
+  let t_cons = setup.Core.Pipeline.t_cons in
+  let a = Timing.Paths.a_mat pool in
+  let mu = Timing.Paths.mu_paths pool in
+  let artifact =
+    Store.of_selection ~fingerprint:"bench:e20 s1423"
+      ~n_segments:(Timing.Paths.num_segments pool)
+      ~t_cons ~eps ~a ~mu sel
+  in
+  let n_paths = artifact.Store.n_paths in
+  let store_path = Filename.temp_file "pathsel-e20" ".psa" in
+  (match Store.save store_path artifact with
+   | Ok () -> ()
+   | Error e -> Core.Errors.raise_error e);
+  let wal_dir = Filename.temp_file "pathsel-e20" ".wal" in
+  Sys.remove wal_dir;
+  let sock = Filename.temp_file "pathsel-e20" ".sock" in
+  Sys.remove sock;
+  let server_addr = Serve.Unix_sock sock in
+  (* the soak streams healthy dies only: push the drift thresholds out
+     of reach so no background re-selection can swap the model under
+     the bit-exactness gates (the detector still runs — its cusum and
+     var_ratio are part of the recovered-state comparison) *)
+  let monitor_cfg =
+    {
+      Serve.Monitor.default_config with
+      Serve.Monitor.calibrate = 16;
+      min_dies = 64;
+      buffer = 128;
+      refit_min = 8;
+      drift =
+        {
+          Stats.Drift.default_config with
+          Stats.Drift.warn = 1e6;
+          drift = 1e9;
+          var_ratio = 1e9;
+        };
+    }
+  in
+  (* small checkpoint interval and segments so the soak actually crosses
+     checkpoint writes, rotations and prunes, not just appends *)
+  let durability =
+    {
+      Serve.wal_dir;
+      checkpoint_every = 8;
+      wal_segment_bytes = 32768;
+      wal_retain = 2;
+    }
+  in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 2; deadline = 10.0; idle_timeout = 60.0;
+      monitor = Some monitor_cfg; durability = Some durability }
+  in
+  let predictor = Store.predictor artifact in
+  let robust = Store.robust artifact in
+  let rep = Core.Predictor.rep_indices predictor in
+  let rem = Core.Predictor.rem_indices predictor in
+  let dies =
+    Timing.Monte_carlo.path_delays
+      (Timing.Monte_carlo.sample (Rng.create 2001) pool ~n:stream_rows)
+  in
+  let holdout =
+    Timing.Monte_carlo.path_delays
+      (Timing.Monte_carlo.sample (Rng.create 2002) pool ~n:16)
+  in
+  let hold_measured = Linalg.Mat.select_cols holdout rep in
+  let hold_expected = Core.Predictor.predict_all predictor ~measured:hold_measured in
+  let batch_at idx =
+    let m =
+      Linalg.Mat.init batch n_paths (fun i j ->
+          Linalg.Mat.get dies ((idx + i) mod stream_rows) j)
+    in
+    (Linalg.Mat.select_cols m rep, Linalg.Mat.select_cols m rem)
+  in
+  (* Journal-content reconstruction. An acked batch is journaled — the
+     fsync precedes the ack — and batches ride one connection under the
+     server's journal lock, so acked batches appear in the journal in
+     send order. The one ambiguity per server incarnation is its final,
+     unacked batch: the kill may have landed before the append, after
+     the fsync with the ack lost, or mid-append leaving a torn tail
+     that recovery truncates to a record boundary. The journal
+     high-water mark read at the next boot resolves it exactly: if
+     [journaled] then exceeds the known count by [k], the first [k]
+     records of that pending tail made it to disk. *)
+  let known = ref [] in (* resolved journaled batches, newest first *)
+  let known_n = ref 0 in
+  let pending_tail = ref [] in (* records of the one unacked batch *)
+  let batches_sent = ref 0 in
+  let acked_dies = ref 0 in
+  let wrong = ref 0 in
+  let clean_failures = ref 0 in
+  let kills = ref 0 in
+  let generations = ref [] in
+  let max_recovery = ref 0.0 in
+  let die_idx = ref 0 in
+  let fork_server () =
+    flush oc;
+    flush stdout;
+    let pid = Unix.fork () in
+    if pid = 0 then begin
+      match Serve.run ~config ~reload_from:store_path artifact server_addr with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 1
+    end;
+    pid
+  in
+  let send_batch conn ~expect_ack =
+    let measured, truth = batch_at !die_idx in
+    let expected = batch_obs ~predictor ~robust ~rep ~rem ~measured ~truth in
+    die_idx := (!die_idx + batch) mod stream_rows;
+    incr batches_sent;
+    match Serve.Client.observe conn ~measured ~truth with
+    | Ok resp ->
+      let queued = int_member resp "queued" in
+      let journaled = Serve.Wire.member "journaled" resp in
+      if journaled <> Some (Serve.Wire.Bool true) then incr wrong;
+      if queued <> List.length expected then incr wrong;
+      if List.length (Serve.Client.die_statuses resp) <> batch then incr wrong;
+      known := expected :: !known;
+      known_n := !known_n + List.length expected;
+      acked_dies := !acked_dies + queued;
+      true
+    | Error _ ->
+      (* at most one unacked batch per incarnation: this send ends the
+         cycle's traffic loop *)
+      if !pending_tail = [] then pending_tail := expected else incr wrong;
+      if expect_ack then incr clean_failures;
+      false
+  in
+  (* [resp] is a stats answer from a freshly recovered server: its
+     journal high-water mark settles how much of the previous
+     incarnation's unacked tail survived the kill *)
+  let resolve_tail resp =
+    match Serve.Wire.member "durability" resp with
+    | Some dur ->
+      let k = int_member dur "journaled" - !known_n in
+      let tail = !pending_tail in
+      if k < 0 || k > List.length tail then incr wrong
+      else if k > 0 then begin
+        known := List.filteri (fun i _ -> i < k) tail :: !known;
+        known_n := !known_n + k
+      end;
+      pending_tail := []
+    | None -> incr wrong
+  in
+  let check_predict conn ~expect_ack =
+    match Serve.Client.predict conn hold_measured with
+    | Ok (m, _) ->
+      if not (bits_equal m hold_expected) then incr wrong;
+      true
+    | Error _ ->
+      if expect_ack then incr clean_failures;
+      false
+  in
+  let connect_and_measure t0 =
+    match Serve.Client.connect ~retries:100 server_addr with
+    | conn ->
+      if Serve.Client.ping conn then begin
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt > !max_recovery then max_recovery := dt;
+        Some conn
+      end
+      else begin
+        Serve.Client.close conn;
+        None
+      end
+    | exception (Unix.Unix_error _ | Serve.Io.Timeout) -> None
+  in
+  (* ---- kill cycles: traffic until the armed SIGKILL lands *)
+  for cycle = 1 to cycles do
+    let t0 = Unix.gettimeofday () in
+    let pid = fork_server () in
+    (match connect_and_measure t0 with
+     | None ->
+       incr clean_failures;
+       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       ignore (Unix.waitpid [] pid)
+     | Some conn ->
+       (match Serve.Client.stats conn with
+        | Ok resp ->
+          generations := int_member resp "gen" :: !generations;
+          resolve_tail resp
+        | Error _ -> incr clean_failures);
+       (* armed only once the server answers: every kill lands under
+          live traffic, at a uniformly random point in append/fsync/
+          checkpoint activity *)
+       let killer =
+         Chaos.Killer.arm ~seed:(0xE20 + cycle) ~min_delay:0.05 ~max_delay:0.6
+           pid
+       in
+       let alive = ref true in
+       let n = ref 0 in
+       while !alive do
+         alive := send_batch conn ~expect_ack:false;
+         incr n;
+         if !alive && !n mod 3 = 0 then
+           alive := check_predict conn ~expect_ack:false
+       done;
+       Serve.Client.close conn;
+       let _, status = Unix.waitpid [] pid in
+       if Chaos.Killer.cancel killer then incr kills;
+       (match status with
+        | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+        | Unix.WEXITED 0 ->
+          (* the kill raced process exit; rare, not a failure *)
+          ()
+        | _ -> incr clean_failures);
+       Printf.fprintf oc
+         "cycle %2d: killed after %.2fs, %d batches in flight so far\n%!"
+         cycle (Chaos.Killer.delay killer) !batches_sent)
+  done;
+  (* ---- final cycle: recover once more, stream without a killer, read
+     the recovered state, drain cleanly *)
+  let t0 = Unix.gettimeofday () in
+  let pid = fork_server () in
+  let final conn =
+    (match Serve.Client.stats conn with
+     | Ok resp ->
+       generations := int_member resp "gen" :: !generations;
+       resolve_tail resp
+     | Error _ -> incr clean_failures);
+    for _ = 1 to final_batches do
+      if not (send_batch conn ~expect_ack:true) then ()
+    done;
+    ignore (check_predict conn ~expect_ack:true);
+    (* wait for the monitor thread to drain what we just sent: every
+       journaled record ends up observed or skipped *)
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec settle () =
+      match Serve.Client.stats conn with
+      | Ok resp ->
+        let mon_done =
+          match
+            (Serve.Wire.member "monitor" resp, Serve.Wire.member "durability" resp)
+          with
+          | Some mon, Some dur ->
+            int_member mon "observed" + int_member mon "skipped"
+            >= int_member dur "journaled"
+          | _ -> true
+        in
+        if mon_done || Unix.gettimeofday () > deadline then Some resp
+        else begin
+          Thread.delay 0.05;
+          settle ()
+        end
+      | Error _ ->
+        incr clean_failures;
+        None
+    in
+    let last_stats = settle () in
+    Serve.Client.shutdown conn;
+    Serve.Client.close conn;
+    last_stats
+  in
+  let last_stats =
+    match connect_and_measure t0 with
+    | Some conn -> final conn
+    | None ->
+      incr clean_failures;
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      None
+  in
+  let _, status = Unix.waitpid [] pid in
+  let server_clean_exit = status = Unix.WEXITED 0 in
+  (* ---- uninterrupted reference: one monitor fed the first [journaled]
+     records of the sent stream, in order, with no crash anywhere *)
+  let journaled, observed_final, skipped_final, mon_state, mon_cusum, mon_var =
+    match last_stats with
+    | Some resp ->
+      let dur = Serve.Wire.member "durability" resp in
+      let mon = Serve.Wire.member "monitor" resp in
+      ( (match dur with Some d -> int_member d "journaled" | None -> 0),
+        (match mon with Some m -> int_member m "observed" | None -> 0),
+        (match mon with Some m -> int_member m "skipped" | None -> 0),
+        (match mon with Some m -> string_member m "state" | None -> ""),
+        (match mon with Some m -> float_member m "cusum" | None -> Float.nan),
+        (match mon with Some m -> float_member m "var_ratio" | None -> Float.nan)
+      )
+    | None -> (0, 0, 0, "", Float.nan, Float.nan)
+  in
+  let prefix =
+    List.concat (List.rev !known) |> List.mapi (fun i o -> (i + 1, o))
+  in
+  let reference =
+    Serve.Monitor.create ~config:monitor_cfg ~n_paths
+      ~r:(Array.length rep) ~m:(Array.length rem)
+      ~reselect:(fun _ -> Error "reference never reselects") ()
+  in
+  Serve.Monitor.replay reference prefix;
+  let ref_report = Serve.Monitor.read reference in
+  let close_f a b =
+    (Float.is_nan a && Float.is_nan b)
+    || Float.abs (a -. b) <= 1e-12 *. Float.max 1.0 (Float.abs b)
+  in
+  let state_match =
+    journaled = !known_n
+    && observed_final = ref_report.Serve.Monitor.observed
+    && skipped_final = ref_report.Serve.Monitor.skipped
+    && mon_state = Stats.Drift.state_to_string ref_report.Serve.Monitor.state
+    && close_f mon_cusum ref_report.Serve.Monitor.cusum
+    && close_f mon_var ref_report.Serve.Monitor.var_ratio
+  in
+  let lost_acked = Int.max 0 (!acked_dies - observed_final - skipped_final) in
+  let generations = List.rev !generations in
+  let gen_monotonic =
+    let rec mono = function
+      | a :: (b :: _ as rest) -> a < b && mono rest
+      | _ -> true
+    in
+    mono generations
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  (try Sys.remove store_path with Sys_error _ -> ());
+  rm_rf wal_dir;
+  let ok =
+    !kills >= Int.max 1 (cycles - 1)
+    && lost_acked = 0
+    && !wrong = 0
+    && !clean_failures = 0
+    && state_match
+    && gen_monotonic
+    && server_clean_exit
+    && !max_recovery <= recovery_bound_s
+  in
+  Printf.fprintf oc
+    "E20: %d kills / %d cycles, %d acked dies, %d journaled, %d observed \
+     (+%d skipped), lost acked %d, %d wrong, %d clean failures, max \
+     recovery %.2fs (bound %.0fs), state match %b, generations %s, clean \
+     exit %b\n"
+    !kills cycles !acked_dies journaled observed_final skipped_final
+    lost_acked !wrong !clean_failures !max_recovery recovery_bound_s
+    state_match
+    (String.concat "->" (List.map string_of_int generations))
+    server_clean_exit;
+  Printf.fprintf oc "E20 %s\n" (if ok then "ok" else "FAILED");
+  flush oc;
+  let result =
+    {
+      bench = bench_name;
+      n_paths;
+      cycles;
+      kills = !kills;
+      batches_sent = !batches_sent;
+      acked_dies = !acked_dies;
+      journaled;
+      observed_final;
+      lost_acked;
+      wrong_answers = !wrong;
+      clean_failures = !clean_failures;
+      max_recovery_s = !max_recovery;
+      recovery_bound_s;
+      state_match;
+      generations;
+      gen_monotonic;
+      server_clean_exit;
+      ok;
+    }
+  in
+  (match out with
+   | Some path ->
+     Core.Report.write_file path (json_of_result result);
+     Printf.fprintf oc "wrote %s\n" path
+   | None -> ());
+  result

@@ -1,0 +1,61 @@
+(** The serving layer's durability codec: WAL observation records and
+    recovery checkpoints.
+
+    Everything here rides the artifact codec ({!Store.Codec}), so every
+    float — refit moments, CUSUM accumulators, ring rows — round-trips
+    {e bit-exactly}; recovered state is not "close to" the pre-crash
+    state, it {e is} the pre-crash state. Snapshot encodings are also
+    canonical (ring rows oldest-first, detector groups sorted), which
+    is what lets tests assert recovery correctness by comparing encoded
+    bytes instead of chasing a tolerance.
+
+    A checkpoint file is framed like a PSA1 artifact with its own magic:
+
+    {v
+    offset  size  field
+    0       4     magic "PSC1"
+    4       4     format version, u32 LE
+    8       8     payload length, u64 LE
+    16      4     CRC-32 (IEEE) of the payload, u32 LE
+    20      -     payload: generation counter + monitor snapshot
+    v}
+
+    and is written with {!Store.write_file_atomic} — a crash mid-
+    checkpoint leaves the previous checkpoint, never a torn one. *)
+
+val ckpt_magic : string
+
+val ckpt_version : int
+
+(** {2 WAL observation records} *)
+
+val encode_obs : Monitor.obs -> string
+(** One journaled die as a WAL record payload. *)
+
+val decode_obs : string -> (Monitor.obs, string) result
+(** Inverse of {!encode_obs}; [Error] names the defect (an unknown
+    record kind from a newer writer, a truncated field). *)
+
+(** {2 Monitor snapshots} *)
+
+val encode_snapshot : Monitor.snapshot -> string
+(** Canonical encoding; equal states produce equal bytes. *)
+
+val decode_snapshot : string -> (Monitor.snapshot, string) result
+
+val snapshot_equal : Monitor.snapshot -> Monitor.snapshot -> bool
+(** Bit-exact state equality via the canonical encoding (NaN-safe) —
+    the predicate behind the recovery QCheck property. *)
+
+(** {2 Checkpoint files} *)
+
+val save_checkpoint :
+  string -> gen:int -> Monitor.snapshot -> (unit, Core.Errors.t) result
+(** Atomic-rename write of [(gen, snapshot)] to the given path. *)
+
+val load_checkpoint :
+  string -> ((int * Monitor.snapshot) option, Core.Errors.t) result
+(** [Ok None] when no checkpoint exists yet (a first boot);
+    [Error] is a typed [Bad_magic]/[Version_mismatch]/
+    [Corrupt_artifact]/[Io] — the caller decides whether to fall back
+    to a cold start plus full-WAL replay. Never raises. *)

@@ -88,8 +88,9 @@ type t = {
   cfg : config;
   n_paths : int;
   reselect : Linalg.Mat.t -> (int * int * float, string) result;
-  (* worker-facing *)
-  pending : obs list Atomic.t;
+  (* worker-facing; each pending entry carries its WAL sequence number
+     (0 when durability is off) *)
+  pending : (int * obs) list Atomic.t;
   pending_n : int Atomic.t;
   dropped : int Atomic.t;
   published : report Atomic.t;
@@ -97,7 +98,8 @@ type t = {
   (* monitor-thread state *)
   mutable r : int;
   mutable m : int;
-  grouped : Stats.Drift.Grouped.t; (* per-wafer detectors, lazily keyed *)
+  mutable grouped : Stats.Drift.Grouped.t;
+      (* per-wafer detectors, lazily keyed; mutable only for [restore] *)
   mutable refit : Core.Refit.t;
   ring : float array array; (* recent full dies, circular *)
   mutable ring_n : int; (* total dies ever accepted into the ring *)
@@ -113,6 +115,11 @@ type t = {
       (* the next [swapped] is our own re-selection landing, not an
          operator reload: keep the post-reselect cooldown *)
   mutable last_error : string;
+  mutable applied_seq : int;
+      (* highest WAL sequence number folded into this state; 0 when
+         durability is off. Recovery replays only records above it,
+         and a journaled record that arrives twice (checkpoint taken
+         after it, then replayed) is ignored — replay is idempotent. *)
 }
 
 let check_config cfg =
@@ -164,22 +171,36 @@ let create ?(config = default_config) ~n_paths ~r ~m ~reselect () =
     next_attempt = 0.0;
     self_swap = false;
     last_error = "";
+    applied_seq = 0;
   }
 
 let n_paths t = t.n_paths
 
-let submit t o =
+let submit ?(seq = 0) t o =
   (* claim a slot first (fetch-and-add, rolled back on overflow) so
      concurrent submits cannot all pass a check-then-increment and blow
-     past the cap together *)
-  if Atomic.fetch_and_add t.pending_n 1 >= t.cfg.pending_cap then begin
-    ignore (Atomic.fetch_and_add t.pending_n (-1));
-    Atomic.incr t.dropped
-  end
-  else begin
+     past the cap together. Journaled records (seq > 0) bypass the shed
+     cap: their producer is already throttled by the WAL fsync, and
+     dropping a record the server acked as journaled would poison the
+     checkpoint watermark — a later sequence number would mark the
+     dropped one as applied, and recovery would never replay it. *)
+  let admitted =
+    if seq > 0 then begin
+      ignore (Atomic.fetch_and_add t.pending_n 1);
+      true
+    end
+    else if Atomic.fetch_and_add t.pending_n 1 >= t.cfg.pending_cap then begin
+      ignore (Atomic.fetch_and_add t.pending_n (-1));
+      Atomic.incr t.dropped;
+      false
+    end
+    else true
+  in
+  if admitted then begin
     let rec push () =
       let cur = Atomic.get t.pending in
-      if not (Atomic.compare_and_set t.pending cur (o :: cur)) then push ()
+      if not (Atomic.compare_and_set t.pending cur ((seq, o) :: cur)) then
+        push ()
     in
     push ()
   end
@@ -252,29 +273,34 @@ let feed_detector t o =
      detector *)
   ignore (Stats.Drift.Grouped.observe t.grouped ~group:o.wafer o.resid)
 
-let ingest t o =
-  if
-    Array.length o.measured <> t.r
-    || Array.length o.truth <> t.m
-    || Array.length o.full <> t.n_paths
-  then t.skipped <- t.skipped + 1
+let ingest t seq o =
+  if seq > 0 && seq <= t.applied_seq then
+    (* already folded in before the crash that triggered this replay *)
+    ()
   else begin
-    match Core.Refit.observe t.refit ~measured:o.measured ~truth:o.truth with
-    | false ->
-      (* non-finite die: the refit moments stay clean; the residual
-         still goes to the detector, whose quarantine logic owns
-         pathological input *)
-      t.skipped <- t.skipped + 1;
-      feed_detector t o
-    | true ->
-      t.observed <- t.observed + 1;
-      t.ring.(t.ring_n mod t.cfg.buffer) <- Array.copy o.full;
-      t.ring_n <- t.ring_n + 1;
-      feed_detector t o
-    | exception Invalid_argument _ ->
-      (* the fail-safe: a malformed observation is dropped and counted;
-         it must never take the monitor (let alone the server) down *)
-      t.errors <- t.errors + 1
+    (if
+       Array.length o.measured <> t.r
+       || Array.length o.truth <> t.m
+       || Array.length o.full <> t.n_paths
+     then t.skipped <- t.skipped + 1
+     else
+       match Core.Refit.observe t.refit ~measured:o.measured ~truth:o.truth with
+       | false ->
+         (* non-finite die: the refit moments stay clean; the residual
+            still goes to the detector, whose quarantine logic owns
+            pathological input *)
+         t.skipped <- t.skipped + 1;
+         feed_detector t o
+       | true ->
+         t.observed <- t.observed + 1;
+         t.ring.(t.ring_n mod t.cfg.buffer) <- Array.copy o.full;
+         t.ring_n <- t.ring_n + 1;
+         feed_detector t o
+       | exception Invalid_argument _ ->
+         (* the fail-safe: a malformed observation is dropped and counted;
+            it must never take the monitor (let alone the server) down *)
+         t.errors <- t.errors + 1);
+    if seq > t.applied_seq then t.applied_seq <- seq
   end
 
 let recent_dies t =
@@ -308,6 +334,11 @@ let maybe_reselect t ~now =
       t.next_attempt <- now +. t.backoff
   end
 
+let publish_coeffs t =
+  if Core.Refit.count t.refit >= t.cfg.refit_min then
+    Atomic.set t.coeffs
+      (Some (Core.Refit.coefficients t.refit, Core.Refit.count t.refit))
+
 let step t ~now =
   let batch = List.rev (Atomic.exchange t.pending []) in
   (* release exactly the slots we drained: a submit that claimed its
@@ -317,12 +348,104 @@ let step t ~now =
    | [] -> ()
    | _ :: _ ->
      ignore (Atomic.fetch_and_add t.pending_n (-(List.length batch))));
-  List.iter (fun o -> ingest t o) batch;
-  (match batch with
-   | [] -> ()
-   | _ :: _ ->
-     if Core.Refit.count t.refit >= t.cfg.refit_min then
-       Atomic.set t.coeffs
-         (Some (Core.Refit.coefficients t.refit, Core.Refit.count t.refit)));
+  List.iter (fun (seq, o) -> ingest t seq o) batch;
+  (match batch with [] -> () | _ :: _ -> publish_coeffs t);
   maybe_reselect t ~now;
+  publish t
+
+(* ------------------------------------------------------------------ *)
+(* Durability: the monitor-thread state is snapshotted into an inert,
+   canonical record (ring rows in chronological order, group table
+   sorted) that the serving layer's checkpoint writer serializes with
+   the artifact codec. [restore] + [replay] over the WAL suffix land
+   bit-exactly on the state an uninterrupted run would hold — the
+   recovery property in test/test_monitor.ml. *)
+
+type snapshot = {
+  snap_r : int;
+  snap_m : int;
+  snap_applied_seq : int;
+  snap_ring : float array array;
+      (* the live window, oldest first: min(ring_n, buffer) rows *)
+  snap_ring_n : int;
+  snap_observed : int;
+  snap_skipped : int;
+  snap_dropped : int;
+  snap_errors : int;
+  snap_reselects : int;
+  snap_reselect_failures : int;
+  snap_last_reselect_ms : float;
+  snap_backoff : float;
+  snap_next_attempt : float;
+  snap_self_swap : bool;
+  snap_last_error : string;
+  snap_refit : Core.Refit.snapshot;
+  snap_drift : Stats.Drift.Grouped.group_snapshot;
+}
+
+let snapshot t =
+  let k = Int.min t.ring_n t.cfg.buffer in
+  let base = t.ring_n - k in
+  {
+    snap_r = t.r;
+    snap_m = t.m;
+    snap_applied_seq = t.applied_seq;
+    snap_ring =
+      Array.init k (fun i -> Array.copy t.ring.((base + i) mod t.cfg.buffer));
+    snap_ring_n = t.ring_n;
+    snap_observed = t.observed;
+    snap_skipped = t.skipped;
+    snap_dropped = Atomic.get t.dropped;
+    snap_errors = t.errors;
+    snap_reselects = t.reselects;
+    snap_reselect_failures = t.reselect_failures;
+    snap_last_reselect_ms = t.last_reselect_ms;
+    snap_backoff = t.backoff;
+    snap_next_attempt = t.next_attempt;
+    snap_self_swap = t.self_swap;
+    snap_last_error = t.last_error;
+    snap_refit = Core.Refit.snapshot t.refit;
+    snap_drift = Stats.Drift.Grouped.snapshot t.grouped;
+  }
+
+let restore ?(config = default_config) ~n_paths ~reselect s =
+  let t = create ~config ~n_paths ~r:s.snap_r ~m:s.snap_m ~reselect () in
+  (* re-inserting the snapshot rows in chronological order reproduces
+     the raw circular layout exactly when the buffer size is unchanged,
+     and degrades gracefully (keeping the newest rows) when an operator
+     shrank or grew it between runs *)
+  let k = Array.length s.snap_ring in
+  if k > s.snap_ring_n then
+    invalid_arg "Monitor.restore: ring larger than its own die count";
+  let kept = Int.min k config.buffer in
+  for i = 0 to kept - 1 do
+    t.ring.((s.snap_ring_n - kept + i) mod config.buffer) <-
+      Array.copy s.snap_ring.(k - kept + i)
+  done;
+  t.ring_n <- s.snap_ring_n;
+  t.applied_seq <- s.snap_applied_seq;
+  t.observed <- s.snap_observed;
+  t.skipped <- s.snap_skipped;
+  Atomic.set t.dropped s.snap_dropped;
+  t.errors <- s.snap_errors;
+  t.reselects <- s.snap_reselects;
+  t.reselect_failures <- s.snap_reselect_failures;
+  t.last_reselect_ms <- s.snap_last_reselect_ms;
+  t.backoff <- s.snap_backoff;
+  t.next_attempt <- s.snap_next_attempt;
+  t.self_swap <- s.snap_self_swap;
+  t.last_error <- s.snap_last_error;
+  t.refit <- Core.Refit.restore s.snap_refit;
+  if Core.Refit.r t.refit <> s.snap_r || Core.Refit.m t.refit <> s.snap_m then
+    invalid_arg "Monitor.restore: refit snapshot split mismatch";
+  t.grouped <- Stats.Drift.Grouped.restore s.snap_drift;
+  publish_coeffs t;
+  publish t;
+  t
+
+let applied_seq t = t.applied_seq
+
+let replay t records =
+  List.iter (fun (seq, o) -> ingest t seq o) records;
+  publish_coeffs t;
   publish t

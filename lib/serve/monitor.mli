@@ -118,9 +118,17 @@ val n_paths : t -> int
 (** The path-pool size the monitor was built for; artifacts swapped in
     must keep it (the ring of full dies is indexed by it). *)
 
-val submit : t -> obs -> unit
+val submit : ?seq:int -> t -> obs -> unit
 (** Lock-free enqueue; never blocks, drops (and counts) past
-    [pending_cap]. Safe from any thread. *)
+    [pending_cap] — except journaled records ([seq > 0]), which bypass
+    the cap: their producer is already throttled by the WAL fsync, and
+    dropping an acked record would let a later sequence number mark it
+    applied, so recovery would never replay it. Safe from any thread.
+    [seq] (default [0] = not journaled) is the observation's WAL
+    sequence number: the monitor
+    tracks the highest one folded in ({!applied_seq}) so checkpoints
+    know where the replay suffix starts, and ignores a journaled
+    record it has already applied — replay is idempotent. *)
 
 val step : t -> now:float -> unit
 (** Drain the queue, update detector/refit/ring, and trigger a
@@ -155,3 +163,68 @@ val note_error : t -> string -> unit
     as [last_error]) and republish the report. For the caller's
     thread-level fail-safe around {!step}: the loop survives, the
     operator sees it. Monitor thread only. *)
+
+(** {2 Durability}
+
+    The whole monitor-thread state — refit moments, per-wafer
+    detectors, the recent-die ring, counters, re-selection pacing —
+    snapshots into an inert canonical record (ring rows oldest-first,
+    detector groups sorted by id) for the serving layer's periodic
+    checkpoint. Recovery is {!restore} from the last checkpoint
+    followed by {!replay} of the WAL records above
+    [snap_applied_seq]; the result is bit-exactly the state an
+    uninterrupted run over the same die stream would hold
+    (QCheck-property-tested in [test/test_monitor.ml]). *)
+
+type snapshot = {
+  snap_r : int;
+  snap_m : int;
+  snap_applied_seq : int;
+  snap_ring : float array array;
+      (** the live window, oldest first: [min (ring dies, buffer)] rows *)
+  snap_ring_n : int;  (** total dies ever accepted into the ring *)
+  snap_observed : int;
+  snap_skipped : int;
+  snap_dropped : int;
+  snap_errors : int;
+  snap_reselects : int;
+  snap_reselect_failures : int;
+  snap_last_reselect_ms : float;
+  snap_backoff : float;
+  snap_next_attempt : float;
+  snap_self_swap : bool;
+  snap_last_error : string;
+  snap_refit : Core.Refit.snapshot;
+  snap_drift : Stats.Drift.Grouped.group_snapshot;
+}
+
+val snapshot : t -> snapshot
+(** Deep copy of the monitor state; the live monitor keeps running
+    while a checkpoint writer serializes it. Monitor thread only. *)
+
+val restore :
+  ?config:config ->
+  n_paths:int ->
+  reselect:(Linalg.Mat.t -> (int * int * float, string) result) ->
+  snapshot ->
+  t
+(** Rebuild a monitor mid-stream. The snapshot's own detector config
+    and [(r, m)] split win over [config] for everything already
+    accumulated; [config] governs capacity knobs (ring [buffer],
+    [pending_cap], pacing) — with an unchanged [buffer] the restored
+    ring is bit-identical, with a changed one the newest rows are
+    kept. Raises [Invalid_argument] on inconsistent shapes. *)
+
+val applied_seq : t -> int
+(** Highest WAL sequence number folded into this state ([0] when
+    durability is off) — where the next checkpoint's replay suffix
+    starts. Monitor thread only. *)
+
+val replay : t -> (int * obs) list -> unit
+(** [replay t records] re-applies journaled observations (in sequence
+    order, as {!Store.Wal.fold} yields them) directly — bypassing the
+    bounded queue, so a long WAL suffix cannot shed — then republishes
+    coefficients and the report. Records at or below {!applied_seq}
+    are skipped. No re-selection fires during replay: the first live
+    {!step} decides, so recovery adds at most one cooldown of delay.
+    Monitor thread only, before serving starts. *)

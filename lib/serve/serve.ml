@@ -1,6 +1,7 @@
 module Wire = Wire
 module Io = Io
 module Monitor = Monitor
+module Durable = Durable
 
 type address = Unix_sock of string | Tcp of int
 
@@ -23,6 +24,24 @@ let address_to_string = function
 (* ------------------------------------------------------------------ *)
 (* Configuration *)
 
+(* durability: journal every accepted observe to a WAL before the ack
+   leaves, checkpoint the monitor state periodically, and recover
+   checkpoint + WAL suffix at boot *)
+type durability = {
+  wal_dir : string;          (* WAL segments + checkpoint live here *)
+  checkpoint_every : int;    (* journaled records between checkpoints *)
+  wal_segment_bytes : int;   (* segment rotation threshold *)
+  wal_retain : int;          (* sealed covered segments kept by prune *)
+}
+
+let default_durability =
+  {
+    wal_dir = "pathsel-wal";
+    checkpoint_every = 256;
+    wal_segment_bytes = Store.Wal.default_config.Store.Wal.segment_bytes;
+    wal_retain = Store.Wal.default_config.Store.Wal.retain_segments;
+  }
+
 type config = {
   max_batch : int;      (* dies accepted per predict request *)
   max_line : int;       (* request line byte cap (Wire.Framer) *)
@@ -31,6 +50,7 @@ type config = {
   deadline : float;     (* per-request wall-clock budget, seconds *)
   idle_timeout : float; (* silent-connection reap, seconds *)
   monitor : Monitor.config option; (* arm the self-healing loop *)
+  durability : durability option;  (* arm the WAL + checkpoint layer *)
 }
 
 let default_config =
@@ -42,6 +62,7 @@ let default_config =
     deadline = 10.0;
     idle_timeout = 60.0;
     monitor = None;
+    durability = None;
   }
 
 (* I/O concurrency rides cheap systhreads sized from the compute pool:
@@ -57,7 +78,20 @@ let check_config cfg =
   if cfg.workers < 0 then invalid_arg "Serve: workers < 0";
   if cfg.queue < 1 then invalid_arg "Serve: queue < 1";
   if not (cfg.deadline > 0.0) then invalid_arg "Serve: deadline must be > 0";
-  if not (cfg.idle_timeout > 0.0) then invalid_arg "Serve: idle_timeout must be > 0"
+  if not (cfg.idle_timeout > 0.0) then invalid_arg "Serve: idle_timeout must be > 0";
+  match cfg.durability with
+  | None -> ()
+  | Some d ->
+    (* the WAL journals observations; without a monitor there is nothing
+       to journal or recover, so an armed-but-pointless combination is a
+       config error, not a silent no-op *)
+    if cfg.monitor = None then
+      invalid_arg "Serve: durability requires the monitor to be armed";
+    if d.wal_dir = "" then invalid_arg "Serve: wal_dir is empty";
+    if d.checkpoint_every < 1 then invalid_arg "Serve: checkpoint_every < 1";
+    if d.wal_segment_bytes < 1024 then
+      invalid_arg "Serve: wal_segment_bytes < 1024";
+    if d.wal_retain < 1 then invalid_arg "Serve: wal_retain < 1"
 
 (* ------------------------------------------------------------------ *)
 (* Server state *)
@@ -93,9 +127,28 @@ type hot = {
   gen : int;
 }
 
+(* runtime state of the durability layer. The journal mutex [jm] is the
+   load-bearing piece: it serializes WAL append + monitor submit so the
+   monitor ingests observations in strictly increasing sequence order —
+   without it a checkpoint's applied_seq could cover an acked record the
+   monitor had not ingested yet, and recovery would skip it. The
+   checkpoint watermarks are Atomics because the monitor thread writes
+   them while stats handlers read them. *)
+type dur_state = {
+  dur_cfg : durability;
+  wal : Store.Wal.t;
+  ckpt_path : string;
+  jm : Mutex.t;
+  ckpt_seq : int Atomic.t;  (* applied_seq in the last checkpoint *)
+  ckpt_gen : int Atomic.t;  (* generation in the last checkpoint *)
+}
+
+let checkpoint_file = "checkpoint.psc"
+
 type t = {
   cfg : config;
   hot : hot Atomic.t;
+  dur : dur_state option;
   reload_from : string option;
   reload_requested : bool Atomic.t;
   stop_flag : bool Atomic.t;
@@ -124,11 +177,12 @@ let hot_of_artifact ?(gen = 1) artifact =
     gen;
   }
 
-let create_raw ?(config = default_config) ?reload_from artifact =
+let create_raw ?(config = default_config) ?(gen = 1) ?dur ?reload_from artifact =
   check_config config;
   {
     cfg = config;
-    hot = Atomic.make (hot_of_artifact artifact);
+    hot = Atomic.make (hot_of_artifact ~gen artifact);
+    dur;
     reload_from;
     reload_requested = Atomic.make false;
     stop_flag = Atomic.make false;
@@ -285,18 +339,135 @@ let reselect_from_recent t recent =
     end
 
 let create ?(config = default_config) ?reload_from artifact =
-  let t = create_raw ~config ?reload_from artifact in
+  check_config config;
+  (* durability prologue: open (and crash-recover) the WAL and read the
+     last checkpoint before the serving state is built, because the boot
+     generation is derived from the checkpointed one *)
+  let dur, ckpt =
+    match config.durability with
+    | None -> (None, None)
+    | Some d ->
+      let wal =
+        match
+          Store.Wal.open_
+            ~config:
+              {
+                Store.Wal.segment_bytes = d.wal_segment_bytes;
+                retain_segments = d.wal_retain;
+              }
+            d.wal_dir
+        with
+        | Ok w -> w
+        | Error e ->
+          Core.Errors.raise_error
+            (Core.Errors.Io
+               {
+                 file = d.wal_dir;
+                 msg = "Serve: cannot open WAL: " ^ Core.Errors.to_string e;
+               })
+      in
+      let ckpt_path = Filename.concat d.wal_dir checkpoint_file in
+      let ckpt =
+        match Durable.load_checkpoint ckpt_path with
+        | Ok c -> c
+        | Error e ->
+          (* a corrupt checkpoint is recoverable: cold-start the monitor
+             and replay the whole journal instead *)
+          Printf.eprintf
+            "pathsel serve: checkpoint %s unreadable (%s); cold start + \
+             full WAL replay\n%!"
+            ckpt_path (Core.Errors.to_string e);
+          None
+      in
+      ( Some
+          {
+            dur_cfg = d;
+            wal;
+            ckpt_path;
+            jm = Mutex.create ();
+            ckpt_seq =
+              Atomic.make
+                (match ckpt with
+                 | Some (_, s) -> s.Monitor.snap_applied_seq
+                 | None -> 0);
+            ckpt_gen =
+              Atomic.make (match ckpt with Some (g, _) -> g | None -> 0);
+          },
+        ckpt )
+  in
+  (* every restart bumps the generation past the checkpointed one, so a
+     client watching [gen] sees a recovery as the model swap it is *)
+  let gen = match ckpt with Some (g, _) -> g + 1 | None -> 1 in
+  let t = create_raw ~config ~gen ?dur ?reload_from artifact in
   (match config.monitor with
    | None -> ()
    | Some mc ->
      let hot = Atomic.get t.hot in
-     Atomic.set t.mon
-       (Some
-          (Monitor.create ~config:mc ~n_paths:hot.artifact.Store.n_paths
-             ~r:hot.n_rep
-             ~m:(hot.artifact.Store.n_paths - hot.n_rep)
-             ~reselect:(fun recent -> reselect_from_recent t recent)
-             ())));
+     let n_paths = hot.artifact.Store.n_paths in
+     let r = hot.n_rep in
+     let m = n_paths - r in
+     let reselect recent = reselect_from_recent t recent in
+     let fresh () = Monitor.create ~config:mc ~n_paths ~r ~m ~reselect () in
+     let mon =
+       match ckpt with
+       | None -> fresh ()
+       | Some (_, snap) ->
+         if snap.Monitor.snap_r + snap.Monitor.snap_m <> n_paths then begin
+           Printf.eprintf
+             "pathsel serve: checkpointed path pool (%d) does not match \
+              the artifact (%d paths); discarding monitor state\n%!"
+             (snap.Monitor.snap_r + snap.Monitor.snap_m)
+             n_paths;
+           fresh ()
+         end
+         else begin
+           match Monitor.restore ~config:mc ~n_paths ~reselect snap with
+           | mon ->
+             if snap.Monitor.snap_r <> r then begin
+               (* an operator swapped in an artifact with a different
+                  split while the server was down: the ring survives,
+                  detector and refit re-anchor (reload semantics) *)
+               Printf.eprintf
+                 "pathsel serve: artifact split changed offline (r=%d -> \
+                  %d); re-anchoring detector and refit\n%!"
+                 snap.Monitor.snap_r r;
+               Monitor.swapped mon ~r ~m
+             end;
+             mon
+           | exception Invalid_argument msg ->
+             Printf.eprintf
+               "pathsel serve: checkpoint rejected (%s); cold start\n%!" msg;
+             fresh ()
+         end
+     in
+     (* replay the WAL suffix — every record acked after the checkpoint
+        was taken. Ingestion is idempotent over sequence numbers, so a
+        record covered by both the checkpoint and the journal is
+        skipped, and a second crash during replay re-lands on the same
+        state. *)
+     (match t.dur with
+      | None -> ()
+      | Some dur ->
+        let from_seq = Monitor.applied_seq mon + 1 in
+        (match
+           Store.Wal.fold ~from_seq dur.dur_cfg.wal_dir ~init:[]
+             ~f:(fun acc ~seq payload ->
+               match Durable.decode_obs payload with
+               | Ok o -> (seq, o) :: acc
+               | Error msg ->
+                 Printf.eprintf
+                   "pathsel serve: WAL record %d undecodable (%s); \
+                    skipped\n%!"
+                   seq msg;
+                 acc)
+         with
+         | Ok (acc, _last) -> Monitor.replay mon (List.rev acc)
+         | Error e ->
+           Printf.eprintf
+             "pathsel serve: WAL replay failed: %s (continuing from the \
+              checkpoint alone)\n%!"
+             (Core.Errors.to_string e)));
+     Atomic.set t.mon (Some mon));
   t
 
 let monitor_step t ~now =
@@ -320,6 +491,44 @@ let monitor_step t ~now =
       end
     end;
     (match Atomic.get t.mon with Some m -> Monitor.step m ~now | None -> ())
+
+(* Runs on the monitor thread, right after [monitor_step]: write a
+   checkpoint when enough journaled records have been applied since the
+   last one, or when the generation moved (a reselect or reload landed —
+   the next boot must not resurrect the pre-swap monitor state against
+   the post-swap artifact). The write itself is [Store.write_file_atomic]
+   under the hood, so a SIGKILL mid-checkpoint leaves the previous
+   checkpoint intact and recovery just replays a longer WAL suffix. *)
+let maybe_checkpoint ?(force = false) t =
+  match (t.dur, Atomic.get t.mon) with
+  | None, _ | _, None -> ()
+  | Some dur, Some mon ->
+    let applied = Monitor.applied_seq mon in
+    let gen = (Atomic.get t.hot).gen in
+    if
+      force
+      || applied - Atomic.get dur.ckpt_seq >= dur.dur_cfg.checkpoint_every
+      || gen <> Atomic.get dur.ckpt_gen
+    then begin
+      match
+        Durable.save_checkpoint dur.ckpt_path ~gen (Monitor.snapshot mon)
+      with
+      | Ok () ->
+        Atomic.set dur.ckpt_seq applied;
+        Atomic.set dur.ckpt_gen gen;
+        (* sealed segments fully below the checkpoint are dead weight;
+           a failed prune only delays space reclamation *)
+        (match Store.Wal.prune dur.wal ~upto_seq:applied with
+         | Ok _ -> ()
+         | Error e ->
+           Printf.eprintf "pathsel serve: WAL prune failed: %s\n%!"
+             (Core.Errors.to_string e))
+      | Error e ->
+        (* the previous checkpoint still stands; recovery falls back to
+           a longer replay, losing nothing *)
+        Printf.eprintf "pathsel serve: checkpoint write failed: %s\n%!"
+          (Core.Errors.to_string e)
+    end
 
 let monitor_report t = Option.map Monitor.read (Atomic.get t.mon)
 
@@ -393,6 +602,27 @@ let monitor_fields t =
           ] );
     ]
 
+let durability_fields t =
+  match t.dur with
+  | None -> []
+  | Some dur ->
+    (* [jm] serializes against appenders, so the sequence read is a
+       consistent journal high-water mark *)
+    Mutex.lock dur.jm;
+    let journaled = Store.Wal.next_seq dur.wal - 1 in
+    Mutex.unlock dur.jm;
+    [
+      ( "durability",
+        Wire.Obj
+          [
+            ("wal_dir", Wire.String dur.dur_cfg.wal_dir);
+            ("journaled", Wire.Int journaled);
+            ("checkpoint_seq", Wire.Int (Atomic.get dur.ckpt_seq));
+            ("checkpoint_gen", Wire.Int (Atomic.get dur.ckpt_gen));
+            ("checkpoint_every", Wire.Int dur.dur_cfg.checkpoint_every);
+          ] );
+    ]
+
 let handle_stats t =
   let hot = Atomic.get t.hot in
   let a = hot.artifact in
@@ -431,6 +661,7 @@ let handle_stats t =
           ] );
     ]
     @ monitor_fields t
+    @ durability_fields t
   in
   Mutex.unlock t.cm;
   ok_fields ~gen:hot.gen "stats" fields
@@ -550,10 +781,14 @@ let handle_observe t hot req =
             let pred = Core.Predictor.predict_all hot.predictor ~measured in
             let rep = Core.Predictor.rep_indices hot.predictor in
             let rem = Core.Predictor.rem_indices hot.predictor in
-            let queued = ref 0 in
+            (* per-die verdicts ride the ack, so a tester knows which of
+               its dies actually fed the loop and which the MAD/missing
+               screen quarantined *)
+            let status = Array.make n_dies "screened" in
+            let batch = ref [] in
             for i = 0 to n_dies - 1 do
               if die_clean i then begin
-                incr queued;
+                status.(i) <- "used";
                 let m_row = Linalg.Mat.row measured i in
                 let t_row = Linalg.Mat.row truth i in
                 let full = Array.make hot.artifact.Store.n_paths 0.0 in
@@ -563,7 +798,7 @@ let handle_observe t hot req =
                 for j = 0 to n_rem - 1 do
                   resid := !resid +. (t_row.(j) -. Linalg.Mat.get pred i j)
                 done;
-                Monitor.submit mon
+                batch :=
                   {
                     Monitor.measured = m_row;
                     truth = t_row;
@@ -571,14 +806,59 @@ let handle_observe t hot req =
                     resid = !resid /. float_of_int n_rem;
                     wafer;
                   }
+                  :: !batch
               end
             done;
-            ok_fields ~gen:hot.gen "observe"
-              [
-                ("dies", Wire.Int n_dies);
-                ("queued", Wire.Int !queued);
-                ("screened", Wire.Int (n_dies - !queued));
-              ]
+            let batch = List.rev !batch in
+            let queued = List.length batch in
+            let journal_and_submit () =
+              match t.dur with
+              | None ->
+                List.iter (fun o -> Monitor.submit mon o) batch;
+                Ok false
+              | Some dur ->
+                (match batch with
+                 | [] -> Ok true (* nothing survived the screen *)
+                 | _ :: _ ->
+                   (* journal-before-ack: the fsync'd append is the
+                      durability point — the ack leaves only after it.
+                      [jm] keeps WAL order equal to ingestion order
+                      (see [dur_state]); the append blocks this worker,
+                      never the monitor thread. *)
+                   Mutex.lock dur.jm;
+                   Fun.protect
+                     ~finally:(fun () -> Mutex.unlock dur.jm)
+                     (fun () ->
+                       match
+                         Store.Wal.append dur.wal
+                           (List.map Durable.encode_obs batch)
+                       with
+                       | Error e -> Error e
+                       | Ok last ->
+                         let first = last - queued + 1 in
+                         List.iteri
+                           (fun i o -> Monitor.submit ~seq:(first + i) mon o)
+                           batch;
+                         Ok true))
+            in
+            match journal_and_submit () with
+            | Error e ->
+              (* the observation is NOT durable, so no ok ack may leave;
+                 the string code marks it safe to retry *)
+              infra_response "journal_failed"
+                ("observe: journal append failed: " ^ Core.Errors.to_string e)
+            | Ok journaled ->
+              ok_fields ~gen:hot.gen "observe"
+                [
+                  ("dies", Wire.Int n_dies);
+                  ("queued", Wire.Int queued);
+                  ("screened", Wire.Int (n_dies - queued));
+                  ("journaled", Wire.Bool journaled);
+                  ( "die_status",
+                    Wire.List
+                      (Array.to_list status
+                      |> List.map (fun s -> Wire.String s)) );
+                ]
           end))
 
 (* ------------------------------------------------------------------ *)
@@ -1091,7 +1371,12 @@ let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
                   silently kill the loop while the server still reports
                   the monitor as armed — count it, tell the operator,
                   keep monitoring *)
-               (match monitor_step t ~now:(Unix.gettimeofday ()) with
+               (match
+                  monitor_step t ~now:(Unix.gettimeofday ());
+                  (* checkpointing rides the monitor thread: it alone
+                     may snapshot monitor internals *)
+                  maybe_checkpoint t
+                with
                 | () -> ()
                 | exception e ->
                   let msg = Printexc.to_string e in
@@ -1115,6 +1400,16 @@ let run ?(install_signals = true) ?config ?reload_from ?on_ready artifact addr =
       Mutex.unlock sh.qm;
       List.iter Thread.join workers;
       Option.iter Thread.join monitor_thread;
+      (* the monitor thread has exited (join is the happens-before), so
+         the main thread may take one final snapshot: a clean shutdown
+         leaves a checkpoint at the journal's high-water mark and the
+         next boot replays nothing *)
+      (match maybe_checkpoint ~force:true t with
+       | () -> ()
+       | exception e ->
+         Printf.eprintf "pathsel serve: final checkpoint failed: %s\n%!"
+           (Printexc.to_string e));
+      Option.iter (fun d -> Store.Wal.close d.wal) t.dur;
       (* accepted but never picked up: close without service *)
       Mutex.lock sh.qm;
       Queue.iter close_quiet sh.q;
@@ -1321,6 +1616,27 @@ module Client = struct
           (match Wire.member "error" resp with
            | Some (Wire.String msg) -> msg
            | _ -> "server refused the observation batch")
+
+  (* per-die verdicts from an observe ack: which dies fed the loop,
+     which the screen quarantined, and whether the accepted ones are on
+     durable storage *)
+  let die_statuses resp =
+    match Wire.member "die_status" resp with
+    | Some (Wire.List l) ->
+      List.filter_map (function Wire.String s -> Some s | _ -> None) l
+    | _ -> []
+
+  let describe_observe resp =
+    let journaled = Wire.member "journaled" resp = Some (Wire.Bool true) in
+    die_statuses resp
+    |> List.mapi (fun i s ->
+           Printf.sprintf "die %d: %s" i
+             (match s with
+              | "used" -> if journaled then "journaled and used" else "used"
+              | _ ->
+                if journaled then "screened out (not journaled)"
+                else "screened out"))
+    |> String.concat "\n"
 
   (* ---------------- decision ops ---------------- *)
 

@@ -112,6 +112,11 @@ module Monitor : module type of Monitor
     refit, background re-selection); configure it via {!config}'s
     [monitor] field. *)
 
+module Durable : module type of Durable
+(** Re-export of the durability codec: WAL observation records,
+    canonical monitor snapshots, and checkpoint files. Configure the
+    layer itself via {!config}'s [durability] field. *)
+
 type address =
   | Unix_sock of string  (** filesystem path of a Unix-domain socket *)
   | Tcp of int           (** TCP port on 127.0.0.1; 0 = ephemeral *)
@@ -122,6 +127,31 @@ val address_of_string : string -> (address, string) result
 val address_to_string : address -> string
 
 (** {1 Server} *)
+
+(** Durability knobs (see the "Crash recovery and durability" chapter of
+    the docs). When {!config}'s [durability] is armed, every [observe]
+    batch is appended to a CRC-framed write-ahead log and fsynced
+    {e before} the ok ack leaves — an acknowledged observation survives
+    a SIGKILL. The monitor state (recent-die ring, refit moments, drift
+    detectors, generation counter) is checkpointed atomically every
+    [checkpoint_every] applied records and on every generation change;
+    boot loads the last checkpoint and replays the WAL suffix, landing
+    bit-exactly on the pre-crash state. *)
+type durability = {
+  wal_dir : string;
+      (** WAL segments and the checkpoint live here (created if
+          missing); default ["pathsel-wal"] *)
+  checkpoint_every : int;
+      (** journaled records between checkpoints (256): smaller = faster
+          recovery, more checkpoint writes *)
+  wal_segment_bytes : int;
+      (** segment rotation threshold ({!Store.Wal.default_config}) *)
+  wal_retain : int;
+      (** sealed checkpoint-covered segments kept by pruning
+          ({!Store.Wal.default_config}) *)
+}
+
+val default_durability : durability
 
 type config = {
   max_batch : int;      (** dies accepted per predict request (4096) *)
@@ -135,6 +165,10 @@ type config = {
   monitor : Monitor.config option;
       (** arm the self-healing loop ([None], off, by default); requires
           [reload_from] for auto re-selection to fire *)
+  durability : durability option;
+      (** arm the WAL + checkpoint layer ([None], off, by default);
+          requires [monitor] — the journal records the observation
+          stream that feeds it *)
 }
 
 val default_config : config
@@ -156,7 +190,26 @@ val buffers_of_json :
 val create : ?config:config -> ?reload_from:string -> Store.t -> t
 (** Build the serving state: restores the Theorem-2 predictor and the
     robust predictor from the artifact once, up front. [reload_from]
-    names the artifact path a SIGHUP re-loads. *)
+    names the artifact path a SIGHUP re-loads.
+
+    With [durability] armed this is also the recovery path: the WAL is
+    opened (truncating any torn tail), the last checkpoint is loaded,
+    the monitor is restored from it, and the WAL suffix above the
+    checkpoint's watermark is replayed — sequence-numbered ingestion
+    makes the replay idempotent, so a crash {e during} recovery re-lands
+    on the same state. The boot generation is the checkpointed one plus
+    one. A corrupt checkpoint degrades to a cold start plus full-WAL
+    replay; a checkpoint whose path pool no longer matches the artifact
+    is discarded with a warning. Raises [Failure] only when the WAL
+    directory itself cannot be opened. *)
+
+val maybe_checkpoint : ?force:bool -> t -> unit
+(** Write a checkpoint if one is due ([checkpoint_every] applied records
+    since the last, or a generation change), then prune WAL segments the
+    checkpoint covers; [force] skips the due-check. No-op without
+    durability. {b Monitor-thread only} (it snapshots monitor
+    internals): [run] calls it after every {!monitor_step}; tests
+    driving {!monitor_step} directly may call it the same way. *)
 
 val handle : t -> string -> string
 (** Process one request line into one response line (no trailing
@@ -252,9 +305,20 @@ module Client : sig
   (** Stream a batch of fully measured dies ([measured]: [dies x r],
       [truth]: [dies x (n-r)]) into the server's self-healing loop.
       [wafer] keys per-group drift calibration (omitted = the flat
-      default group). [Ok] carries the full response
-      ([queued]/[screened] counts); an ["ok":false] response is the
-      [Error] case. *)
+      default group). [Ok] carries the full response: [queued]/
+      [screened] counts, a per-die [die_status] list (["used"] /
+      ["screened"]), and [journaled] — [true] means every used die hit
+      fsynced storage before this ack left. An ["ok":false] response is
+      the [Error] case; the retryable ["journal_failed"] code means the
+      batch was {e not} made durable. *)
+
+  val die_statuses : Wire.json -> string list
+  (** The [die_status] field of an observe ack (empty when absent). *)
+
+  val describe_observe : Wire.json -> string
+  (** Render an observe ack per die, one line each: ["journaled and
+      used"], ["used"], ["screened out (not journaled)"], or
+      ["screened out"]. *)
 
   val yield_request :
     ?samples:int ->

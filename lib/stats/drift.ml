@@ -150,6 +150,62 @@ let reset t =
   t.st <- Healthy
 
 (* ------------------------------------------------------------------ *)
+(* Durability: a detector is its reference, its CUSUM accumulators,
+   the residual window, and the latch/quarantine flags — all plain
+   data. Snapshots deep-copy the window so a checkpoint writer can
+   encode one while the live detector keeps observing. *)
+
+type snapshot = {
+  snap_config : config;
+  snap_mean0 : float;
+  snap_sigma0 : float;
+  snap_s_hi : float;
+  snap_s_lo : float;
+  snap_n : int;
+  snap_bad : int;
+  snap_consecutive_bad : int;
+  snap_quarantine : bool;
+  snap_win : float array;
+  snap_win_n : int;
+  snap_state : state;
+}
+
+let snapshot t =
+  {
+    snap_config = t.cfg;
+    snap_mean0 = t.mean0;
+    snap_sigma0 = t.sigma0;
+    snap_s_hi = t.s_hi;
+    snap_s_lo = t.s_lo;
+    snap_n = t.n;
+    snap_bad = t.bad;
+    snap_consecutive_bad = t.consecutive_bad;
+    snap_quarantine = t.quarantine;
+    snap_win = Array.copy t.win;
+    snap_win_n = t.win_n;
+    snap_state = t.st;
+  }
+
+let restore s =
+  check_config s.snap_config;
+  if Array.length s.snap_win <> s.snap_config.window then
+    invalid_arg "Drift.restore: window length mismatch";
+  {
+    cfg = s.snap_config;
+    mean0 = s.snap_mean0;
+    sigma0 = s.snap_sigma0;
+    s_hi = s.snap_s_hi;
+    s_lo = s.snap_s_lo;
+    n = s.snap_n;
+    bad = s.snap_bad;
+    consecutive_bad = s.snap_consecutive_bad;
+    quarantine = s.snap_quarantine;
+    win = Array.copy s.snap_win;
+    win_n = s.snap_win_n;
+    st = s.snap_state;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 module Grouped = struct
   type detector = t
@@ -160,6 +216,8 @@ module Grouped = struct
   let flat_cusum = cusum
   let flat_variance_ratio = variance_ratio
   let flat_quarantined = quarantined
+  let flat_snapshot = snapshot
+  let flat_restore = restore
 
   (* each group calibrates its own reference from its first residuals,
      exactly the way a flat caller would *)
@@ -293,4 +351,66 @@ module Grouped = struct
   let restart t =
     Hashtbl.reset t.groups;
     Hashtbl.replace t.groups default_group (fresh t)
+
+  (* Durability: group entries are serialized sorted by key so the
+     snapshot is canonical — two tables with the same contents yield
+     the same snapshot regardless of hash-table history. *)
+
+  type entry_snapshot = {
+    snap_group : string;
+    snap_calib : float array;
+    snap_calib_n : int;
+    snap_det : snapshot option;
+  }
+
+  type group_snapshot = {
+    snap_cfg : config;
+    snap_calibrate : int;
+    snap_max_groups : int;
+    snap_overflow : int;
+    snap_entries : entry_snapshot list;  (** sorted by group id *)
+  }
+
+  let snapshot t =
+    let entries =
+      Hashtbl.fold
+        (fun group e acc ->
+          {
+            snap_group = group;
+            snap_calib = Array.copy e.calib;
+            snap_calib_n = e.calib_n;
+            snap_det = Option.map flat_snapshot e.det;
+          }
+          :: acc)
+        t.groups []
+      |> List.sort (fun a b -> String.compare a.snap_group b.snap_group)
+    in
+    {
+      snap_cfg = t.cfg;
+      snap_calibrate = t.calibrate;
+      snap_max_groups = t.max_groups;
+      snap_overflow = t.overflow;
+      snap_entries = entries;
+    }
+
+  let restore s =
+    let t =
+      create ~config:s.snap_cfg ~calibrate:s.snap_calibrate
+        ~max_groups:s.snap_max_groups ()
+    in
+    t.overflow <- s.snap_overflow;
+    List.iter
+      (fun e ->
+        if Array.length e.snap_calib <> t.calibrate then
+          invalid_arg "Drift.Grouped.restore: calibration length mismatch";
+        Hashtbl.replace t.groups e.snap_group
+          {
+            calib = Array.copy e.snap_calib;
+            calib_n = e.snap_calib_n;
+            det = Option.map flat_restore e.snap_det;
+          })
+      s.snap_entries;
+    if not (Hashtbl.mem t.groups default_group) then
+      Hashtbl.replace t.groups default_group (fresh t);
+    t
 end

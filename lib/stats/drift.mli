@@ -86,6 +86,35 @@ val reset : t -> unit
     distribution and the cumulative [bad_inputs] counter. Use after an
     artifact swap (followed by recalibration) or operator intervention. *)
 
+(** {2 Durability}
+
+    A detector is plain data — reference, CUSUM accumulators, residual
+    window, latch — so crash recovery is a deep copy out and a deep
+    copy back: a restored detector continues bit-exactly where the
+    snapshot was taken. *)
+
+type snapshot = {
+  snap_config : config;
+  snap_mean0 : float;
+  snap_sigma0 : float;  (** already floored *)
+  snap_s_hi : float;
+  snap_s_lo : float;
+  snap_n : int;
+  snap_bad : int;
+  snap_consecutive_bad : int;
+  snap_quarantine : bool;
+  snap_win : float array;  (** length [snap_config.window] *)
+  snap_win_n : int;
+  snap_state : state;
+}
+
+val snapshot : t -> snapshot
+(** Deep copy; safe to serialize while the live detector observes. *)
+
+val restore : snapshot -> t
+(** Rebuild a detector mid-stream. Raises [Invalid_argument] on an
+    invalid config or a window length mismatch. *)
+
 (** Per-group drift detection for streams partitioned by wafer/lot.
 
     Process variation is strongly correlated within a wafer and a lot,
@@ -148,4 +177,32 @@ module Grouped : sig
   (** Drop every group (including calibration progress) back to a fresh
       table with only the default group; keeps the cumulative
       {!overflowed} counter. Use after an artifact swap. *)
+
+  (** {2 Durability} *)
+
+  type entry_snapshot = {
+    snap_group : string;
+    snap_calib : float array;
+    snap_calib_n : int;
+    snap_det : snapshot option;  (** [None] while still calibrating *)
+  }
+
+  type group_snapshot = {
+    snap_cfg : config;
+    snap_calibrate : int;
+    snap_max_groups : int;
+    snap_overflow : int;
+    snap_entries : entry_snapshot list;
+        (** sorted by group id, so the snapshot is canonical — equal
+            tables produce equal snapshots regardless of insertion
+            history *)
+  }
+
+  val snapshot : t -> group_snapshot
+  (** Deep copy of every group (calibration buffers included). *)
+
+  val restore : group_snapshot -> t
+  (** Rebuild the table mid-stream; the default group is re-created if
+      the snapshot somehow lacks it. Raises [Invalid_argument] on an
+      invalid config or calibration-length mismatch. *)
 end

@@ -12,6 +12,11 @@ exception Truncated
 exception Malformed of string
 (** A length prefix or dimension is negative or absurdly large. *)
 
+val max_len : int
+(** Upper bound on any length prefix the reader will accept (also the
+    WAL's frame-size sanity bound): a length beyond this is
+    {!Malformed} garbage, not data. *)
+
 val crc32 : string -> int
 (** IEEE 802.3 (reflected, poly 0xEDB88320) CRC over the whole string,
     in [0, 2^32). *)

@@ -1,3 +1,9 @@
+(* Re-export the library's inner modules: the library is wrapped with
+   this file as its interface, so [Codec] and [Wal] are only reachable
+   as [Store.Codec]/[Store.Wal] through these aliases. *)
+module Codec = Codec
+module Wal = Wal
+
 type t = {
   fingerprint : string;
   t_cons : float;
@@ -226,9 +232,9 @@ let of_bytes ?(file = "<bytes>") s =
    fsynced and then atomically renamed over [path]. A crash at any
    instant leaves either the previous artifact or the new one on disk,
    never a torn hybrid — which is what lets a serving process SIGHUP-
-   reload from [path] while another process rewrites it. *)
-let save path t =
-  let bytes = to_bytes t in
+   reload from [path] while another process rewrites it. The serving
+   layer's checkpoint writer reuses this exact idiom. *)
+let write_file_atomic path bytes =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let remove_quiet f = try Sys.remove f with Sys_error _ -> () in
   match
@@ -264,6 +270,8 @@ let save path t =
       (Core.Errors.Io
          { file = path; msg = Printf.sprintf "%s: %s" fn (Unix.error_message err) })
 
+let save path t = write_file_atomic path (to_bytes t)
+
 let load path =
   match
     let ic = open_in_bin path in
@@ -273,7 +281,12 @@ let load path =
   | s -> of_bytes ~file:path s
   | exception Sys_error msg -> Error (Core.Errors.Io { file = path; msg })
   | exception End_of_file ->
-    Error (Core.Errors.Io { file = path; msg = "unexpected end of file" })
+    (* the file shrank under the read loop: a torn artifact, not a
+       filesystem failure — report it as corruption so operators reach
+       for regeneration, not remounts *)
+    Error
+      (Core.Errors.Corrupt_artifact
+         { file = path; msg = "truncated: unexpected end of file" })
 
 (* ------------------------------------------------------------------ *)
 

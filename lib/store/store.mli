@@ -36,6 +36,14 @@
     {!Core.Errors.Corrupt_artifact}. [load] never raises on bad input:
     every failure is a typed [Error] with a sysexits code. *)
 
+module Codec = Codec
+(** The little-endian bit-exact binary primitives behind the artifact
+    payload — shared with {!Wal} record payloads and the serving
+    layer's checkpoint codec. *)
+
+module Wal = Wal
+(** Append-only write-ahead log: the durability side of the store. *)
+
 type t = {
   fingerprint : string;
       (** free-form provenance: circuit, seeds, config of the producing
@@ -87,6 +95,14 @@ val to_bytes : t -> string
 
 val of_bytes : ?file:string -> string -> (t, Core.Errors.t) result
 (** [file] tags the typed error (default ["<bytes>"]). *)
+
+val write_file_atomic : string -> string -> (unit, Core.Errors.t) result
+(** The crash-safe write idiom behind {!save}, exposed for other
+    durable files (the serving layer's recovery checkpoints): bytes go
+    to a same-directory temp file, are fsynced, and are atomically
+    renamed over the destination; the directory entry is fsynced
+    best-effort. A crash leaves either the old file or the new one,
+    never a torn hybrid. *)
 
 val save : string -> t -> (unit, Core.Errors.t) result
 (** Crash-safe write: bytes land in a same-directory temp file, are

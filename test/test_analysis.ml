@@ -222,6 +222,82 @@ let test_fd_exception_edge_message () =
   | ds -> Alcotest.failf "expected exactly one leak, got %d: [%s]" (List.length ds) (show ds)
 
 (* ------------------------------------------------------------------ *)
+(* WAL/checkpoint descriptors: the journal's segment fds live in
+   lib/store and get the same leak tracking as every other descriptor *)
+
+let wal_fd_path = "lib/store/fix_wal.ml"
+
+let wal_fd_leak =
+  "let open_segment dir =\n\
+  \  let fd =\n\
+  \    Unix.openfile (Filename.concat dir \"wal-1.log\") [ Unix.O_WRONLY ] 0o644\n\
+  \  in\n\
+  \  let _off = Unix.lseek fd 0 Unix.SEEK_END in\n\
+  \  Unix.close fd"
+
+(* the rotate/checkpoint idiom: fsync under Fun.protect close *)
+let wal_fd_rotated =
+  "let seal dir =\n\
+  \  let fd =\n\
+  \    Unix.openfile (Filename.concat dir \"wal-1.log\") [ Unix.O_WRONLY ] 0o644\n\
+  \  in\n\
+  \  Fun.protect ~finally:(fun () -> Unix.close fd)\n\
+  \    (fun () -> Unix.fsync fd)"
+
+(* ------------------------------------------------------------------ *)
+(* boot_fns: recovery code runs single-threaded (before workers and
+   monitor exist), so a write reachable from a serving entry ONLY
+   through a declared boot function is not a cross-thread race *)
+
+let boot_replays = "let replay () = Fix_state.read ()"
+let srv_boots = "let handle () = Fix_boot.replay ()"
+
+let boot_quad =
+  [
+    ("Fix_state", "lib/serve/fix_state.ml", race_state);
+    ("Fix_boot", "lib/serve/fix_boot.ml", boot_replays);
+    ("Fix_mon", "lib/serve/fix_mon.ml", mon_bumps);
+    ("Fix_srv", "lib/serve/fix_srv.ml", srv_boots);
+  ]
+
+let test_boot_cut () =
+  (* undeclared, the recovery chain looks like a serving-side read
+     racing the monitor's write *)
+  let diags = analyze boot_quad in
+  if not (fired "shared-mutable-race" diags) then
+    Alcotest.failf "expected the undeclared boot chain to race; got [%s]"
+      (show diags);
+  (* declared boot-only, the chain is cut and the race disappears *)
+  let diags =
+    Analysis.analyze_sources
+      ~config:{ cfg with Analysis.boot_fns = [ "Fix_boot.replay" ] }
+      boot_quad
+  in
+  if fired "shared-mutable-race" diags then
+    Alcotest.failf "boot_fns failed to cut the recovery chain; got [%s]"
+      (show diags)
+
+(* a boot function that is itself an entry stays analyzed on its own
+   side: cutting must not blind the analyzer to the entry's body *)
+let test_boot_fn_entry_still_seeded () =
+  let diags =
+    Analysis.analyze_sources
+      ~config:
+        { cfg with
+          Analysis.serving_entries = [ "Fix_boot.replay" ];
+          handler_entries = [];
+          boot_fns = [ "Fix_boot.replay" ] }
+      [
+        ("Fix_state", "lib/serve/fix_state.ml", race_state);
+        ("Fix_boot", "lib/serve/fix_boot.ml", boot_replays);
+        ("Fix_mon", "lib/serve/fix_mon.ml", mon_bumps);
+      ]
+  in
+  if not (fired "shared-mutable-race" diags) then
+    Alcotest.failf "entry listed in boot_fns lost its own seeding; got [%s]"
+      (show diags)
+
+(* ------------------------------------------------------------------ *)
 (* The @smoke invariant, as a test: pathsel-analyze reports zero
    errors on the real tree. dune runs this suite from
    _build/default/test, where the built tree sits one level up (cmts
@@ -332,6 +408,15 @@ let corpus =
       check_silent "fd-leak" [ ("Fix_fd", fd_path, fd_leak_suppressed) ] );
     ( "fd-leak silent outside the scoped dirs",
       check_silent "fd-leak" [ ("Fix_fd", "lib/timing/fix_fd.ml", fd_leak_plain) ] );
+    (* WAL/checkpoint descriptors *)
+    ( "fd-leak tracks a WAL segment descriptor",
+      check_fires "fd-leak" [ ("Fix_wal", wal_fd_path, wal_fd_leak) ] );
+    ( "fd-leak silent on the seal/rotate idiom",
+      check_silent "fd-leak" [ ("Fix_wal", wal_fd_path, wal_fd_rotated) ] );
+    (* boot-phase cuts *)
+    ("boot_fns cuts the recovery chain out of the race", test_boot_cut);
+    ( "a boot function listed as an entry is still seeded",
+      test_boot_fn_entry_still_seeded );
     (* the acceptance invariant *)
     ("repo tree is analyzer-clean", test_repo_tree_clean);
   ]

@@ -62,6 +62,14 @@ let par_local_ref_good =
   \  Par.Pool.parallel_for 0 n (fun i -> ignore i);\n\
   \  !total"
 
+let wal_write_bad = "let journal wal_fd b = Unix.write wal_fd b 0 (Bytes.length b)"
+
+let wal_write_field_bad =
+  "let journal t b = Unix.single_write t.wal_fd b 0 (Bytes.length b)"
+
+let wal_write_string_bad = "let touch fd = Unix.write_substring fd \"wal-header\" 0 3"
+let plain_write_good = "let f fd b = Unix.write fd b 0 (Bytes.length b)"
+
 let monitor_mutex_bad = "let f m = Mutex.lock m"
 let monitor_condwait_bad = "let f c m = Condition.wait c m"
 let monitor_join_bad = "let f t = Thread.join t"
@@ -172,6 +180,22 @@ let unit_tests =
         dense_pool_good );
     ( "no-dense-pool silent outside the streaming front-end",
       check_silent "no-dense-pool" ~path:"lib/timing/paths.ml" dense_pool_bad );
+    (* no-unfsynced-wal: raw writes to wal-named fds/paths belong in
+       Store.Wal, whose frame CRC + fsync is the journal-before-ack
+       durability point *)
+    ( "no-unfsynced-wal fires on a wal-named descriptor",
+      check_fires "no-unfsynced-wal" wal_write_bad );
+    ( "no-unfsynced-wal fires through a record field",
+      check_fires "no-unfsynced-wal" wal_write_field_bad );
+    ( "no-unfsynced-wal fires on a wal-named path literal",
+      check_fires "no-unfsynced-wal" wal_write_string_bad );
+    ( "no-unfsynced-wal silent inside Store.Wal",
+      check_silent "no-unfsynced-wal" ~path:"lib/store/wal.ml" wal_write_bad );
+    ( "no-unfsynced-wal silent on non-wal descriptors",
+      check_silent "no-unfsynced-wal" plain_write_good );
+    ( "no-unfsynced-wal honors allow-next",
+      check_silent "no-unfsynced-wal"
+        ("(* lint: allow-next no-unfsynced-wal *)\n" ^ wal_write_bad) );
     (* suppression comments *)
     ( "suppression silences a rule",
       check_silent "no-float-eq" ("(* lint: allow no-float-eq *)\n" ^ float_eq_bad) );

@@ -260,6 +260,151 @@ let test_create_validation () =
               { mon_cfg.Monitor.drift with Stats.Drift.warn = 0.0; drift = 0.0 } }
         ~n_paths ~r ~m ~reselect ())
 
+(* ------------------------------------------------------------------ *)
+(* Durability: recovery must land on the state an uninterrupted run
+   holds — not approximately, bit-exactly. *)
+
+module Durable = Serve.Durable
+
+(* drift thresholds pushed out of reach: no re-selection fires, so the
+   comparison below is pure ingest state (refit moments, detector
+   accumulators, ring, counters) with no pacing noise *)
+let quiet_cfg =
+  {
+    mon_cfg with
+    Monitor.drift =
+      { Stats.Drift.default_config with Stats.Drift.slack = 0.0; warn = 1e6;
+        drift = 1e9; var_ratio = 1e9 };
+  }
+
+(* die [i] of a deterministic stream with some character: varying
+   residuals, an occasional non-finite truth (exercises the skipped
+   path) — recovery must reproduce the bookkeeping for those too *)
+let stream_die i =
+  let o = obs ~resid:(0.05 *. float_of_int ((i mod 9) - 4)) i in
+  if i mod 7 = 3 then o.Monitor.truth.(0) <- Float.nan;
+  o
+
+let quiet_create () = create ~config:quiet_cfg ()
+
+(* an uninterrupted monitor over journaled dies [1..n] *)
+let uninterrupted n =
+  let t = quiet_create () in
+  for i = 1 to n do
+    Monitor.submit ~seq:i t (stream_die i)
+  done;
+  Monitor.step t ~now:0.0;
+  t
+
+let prop_recovery =
+  QCheck.Test.make ~count:40
+    ~name:"checkpoint + WAL-suffix replay equals the uninterrupted run"
+    QCheck.(triple (int_range 1 40) (int_range 0 1000) (int_range 0 3))
+    (fun (n, kseed, overlap) ->
+      let k = kseed mod (n + 1) in
+      let reference = uninterrupted n in
+      (* the crashed run: k dies made it into the checkpoint *)
+      let before = quiet_create () in
+      for i = 1 to k do
+        Monitor.submit ~seq:i before (stream_die i)
+      done;
+      Monitor.step before ~now:0.0;
+      (* the snapshot rides the real codec, so this also proves the
+         canonical encoding round-trips *)
+      let snap =
+        match Durable.decode_snapshot (Durable.encode_snapshot
+                                         (Monitor.snapshot before)) with
+        | Ok s -> s
+        | Error msg -> QCheck.Test.fail_reportf "snapshot codec: %s" msg
+      in
+      let recovered =
+        Monitor.restore ~config:quiet_cfg ~n_paths
+          ~reselect:(fun _ -> Error "no reselect during the property") snap
+      in
+      if Monitor.applied_seq recovered <> k then
+        QCheck.Test.fail_reportf "restored applied_seq %d, expected %d"
+          (Monitor.applied_seq recovered) k;
+      (* replay a WAL suffix that overlaps the checkpoint: records at
+         or below applied_seq must be skipped (idempotence) *)
+      let from = Int.max 1 (k - overlap + 1) in
+      Monitor.replay recovered
+        (List.init (n - from + 1) (fun j -> (from + j, stream_die (from + j))));
+      Monitor.applied_seq recovered = n
+      && Durable.snapshot_equal (Monitor.snapshot reference)
+           (Monitor.snapshot recovered))
+
+(* a double replay of the same suffix must change nothing *)
+let test_replay_idempotent () =
+  let n = 12 and k = 5 in
+  let recovered =
+    Monitor.restore ~config:quiet_cfg ~n_paths
+      ~reselect:(fun _ -> Error "no reselect")
+      (Monitor.snapshot
+         (let t = quiet_create () in
+          for i = 1 to k do
+            Monitor.submit ~seq:i t (stream_die i)
+          done;
+          Monitor.step t ~now:0.0;
+          t))
+  in
+  let suffix = List.init (n - k) (fun j -> (k + 1 + j, stream_die (k + 1 + j))) in
+  Monitor.replay recovered suffix;
+  let once = Monitor.snapshot recovered in
+  Monitor.replay recovered suffix;
+  Alcotest.(check bool) "second replay is a no-op" true
+    (Durable.snapshot_equal once (Monitor.snapshot recovered));
+  Alcotest.(check bool) "matches the uninterrupted run" true
+    (Durable.snapshot_equal (Monitor.snapshot (uninterrupted n)) once)
+
+(* Durable.save_checkpoint rides Store.write_file_atomic: children are
+   SIGKILLed mid-save; the checkpoint path must always load as the old
+   or the new (gen, snapshot) pair, never torn — the serve-layer twin
+   of test_store's kill-mid-write *)
+let test_checkpoint_kill_mid_write () =
+  let snap_after n =
+    let t = uninterrupted n in
+    Monitor.snapshot t
+  in
+  let s1 = snap_after 6 and s2 = snap_after 14 in
+  let path = Filename.temp_file "pathsel-ckpt" ".psc" in
+  (match Durable.save_checkpoint path ~gen:1 s1 with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "seed checkpoint: %s" (Core.Errors.to_string e));
+  let fork_or_skip () =
+    try Unix.fork () with Failure _ -> Sys.remove path; Alcotest.skip ()
+  in
+  for i = 0 to 19 do
+    (match fork_or_skip () with
+     | 0 ->
+       ignore (Durable.save_checkpoint path ~gen:2 s2);
+       Unix._exit 0
+     | pid ->
+       let delay = float_of_int (i mod 7) *. 0.0004 in
+       if delay > 0.0 then Unix.sleepf delay;
+       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       ignore (Unix.waitpid [] pid));
+    match Durable.load_checkpoint path with
+    | Error e ->
+      Alcotest.failf "iteration %d: torn checkpoint: %s" i
+        (Core.Errors.to_string e)
+    | Ok None -> Alcotest.failf "iteration %d: checkpoint vanished" i
+    | Ok (Some (gen, s)) ->
+      if
+        not
+          ((gen = 1 && Durable.snapshot_equal s s1)
+          || (gen = 2 && Durable.snapshot_equal s s2))
+      then Alcotest.failf "iteration %d: checkpoint is neither old nor new" i
+  done;
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".tmp." in
+  Array.iter
+    (fun f ->
+      if String.length f >= String.length prefix
+         && String.sub f 0 (String.length prefix) = prefix
+      then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  Sys.remove path
+
 let suites =
   [
     ( "monitor",
@@ -275,5 +420,9 @@ let suites =
           ("pending cap drops instead of blocking", test_pending_cap_drops);
           ("malformed observations are contained", test_malformed_observations);
           ("create validates config", test_create_validation);
-        ] );
+          ("replay is idempotent", test_replay_idempotent);
+          ( "kill mid-checkpoint leaves old or new, never torn",
+            test_checkpoint_kill_mid_write );
+        ]
+      @ [ QCheck_alcotest.to_alcotest prop_recovery ] );
   ]

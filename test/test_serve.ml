@@ -738,6 +738,160 @@ let test_client_observe_and_generation () =
          | _ -> Alcotest.failf "queued missing: %s" (Serve.Wire.print j))
       | Error m -> Alcotest.failf "client observe failed: %s" m)
 
+(* durability: a clean restart over the same WAL directory must come
+   back with the generation bumped and the monitor state — counters,
+   drift accumulators — bit-exactly where the first run left it *)
+let test_restart_recovers_state () =
+  let store, clean = Lazy.force artifact in
+  let wal_dir =
+    let d = Filename.temp_file "pathsel-serve-wal" "" in
+    Sys.remove d;
+    d
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists wal_dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat wal_dir f) with _ -> ())
+          (Sys.readdir wal_dir);
+        try Unix.rmdir wal_dir with Unix.Unix_error _ -> ()
+      end)
+  @@ fun () ->
+  let config =
+    {
+      Serve.default_config with
+      Serve.monitor =
+        (* drift thresholds out of reach: the stream below has real
+           residuals (live CUSUM movement to compare across the
+           restart) but must never trigger a re-selection *)
+        Some
+          {
+            serve_mon_cfg with
+            Serve.Monitor.cooldown = 0.05;
+            drift =
+              { Stats.Drift.default_config with Stats.Drift.slack = 0.0;
+                warn = 1e6; drift = 1e9; var_ratio = 1e9 };
+          };
+      durability =
+        Some
+          { Serve.wal_dir; checkpoint_every = 4; wal_segment_bytes = 1 lsl 22;
+            wal_retain = 1 };
+    }
+  in
+  let obj_int j outer field =
+    match Serve.Wire.member outer j with
+    | Some o ->
+      (match Serve.Wire.member field o with
+       | Some (Serve.Wire.Int i) -> i
+       | _ -> Alcotest.failf "stats: no %s.%s (int)" outer field)
+    | None -> Alcotest.failf "stats: no %s object" outer
+  in
+  let obj_float j outer field =
+    match Serve.Wire.member outer j with
+    | Some o ->
+      (match Serve.Wire.member field o with
+       | Some (Serve.Wire.Float f) -> f
+       | Some (Serve.Wire.Int i) -> float_of_int i
+       | _ -> Alcotest.failf "stats: no %s.%s (float)" outer field)
+    | None -> Alcotest.failf "stats: no %s object" outer
+  in
+  let obj_string j outer field =
+    match Serve.Wire.member outer j with
+    | Some o ->
+      (match Serve.Wire.member field o with
+       | Some (Serve.Wire.String s) -> s
+       | _ -> Alcotest.failf "stats: no %s.%s (string)" outer field)
+    | None -> Alcotest.failf "stats: no %s object" outer
+  in
+  let stats_exn c =
+    match Serve.Client.stats c with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "stats failed: %s" m
+  in
+  let gen_of j =
+    match Serve.Wire.member "gen" j with
+    | Some (Serve.Wire.Int g) -> g
+    | _ -> Alcotest.fail "stats: no gen"
+  in
+  (* truth with a constant shift: nonzero residuals, so the detector
+     accumulators the restart must preserve are not trivially zero *)
+  let truth = exact_truth store clean in
+  let n_dies, n_rem = Linalg.Mat.dims truth in
+  let shifted =
+    Linalg.Mat.init n_dies n_rem (fun i j -> Linalg.Mat.get truth i j +. 0.25)
+  in
+  (* first run: feed the monitor, wait until every journaled record is
+     applied, and note the exact state the restart must reproduce *)
+  let first_run =
+    with_server ~config (fun _store _clean addr ->
+        let c = Serve.Client.connect addr in
+        Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+        for _ = 1 to 4 do
+          match Serve.Client.observe c ~measured:clean ~truth:shifted with
+          | Ok j ->
+            Alcotest.(check bool) "ack only after the journal write" true
+              (Serve.Wire.member "journaled" j = Some (Serve.Wire.Bool true));
+            Alcotest.(check int) "per-die status for the whole batch" n_dies
+              (List.length (Serve.Client.die_statuses j))
+          | Error m -> Alcotest.failf "observe failed: %s" m
+        done;
+        (* the monitor drains asynchronously: settle before reading *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        let rec settle () =
+          let j = stats_exn c in
+          let applied =
+            obj_int j "monitor" "observed" + obj_int j "monitor" "skipped"
+          in
+          if applied >= obj_int j "durability" "journaled" then j
+          else if Unix.gettimeofday () > deadline then
+            Alcotest.fail "monitor never drained the journal"
+          else begin
+            Thread.delay 0.02;
+            settle ()
+          end
+        in
+        settle ())
+  in
+  let gen1 = gen_of first_run in
+  let journaled1 = obj_int first_run "durability" "journaled" in
+  Alcotest.(check int) "every die journaled" (4 * n_dies) journaled1;
+  (* second run, same WAL dir: recovery is checkpoint + WAL suffix *)
+  with_server ~config (fun _store _clean addr ->
+      let c = Serve.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let j = stats_exn c in
+      Alcotest.(check int) "generation survives and increments" (gen1 + 1)
+        (gen_of j);
+      Alcotest.(check int) "journal high-water mark survives" journaled1
+        (obj_int j "durability" "journaled");
+      List.iter
+        (fun field ->
+          Alcotest.(check int)
+            ("monitor." ^ field ^ " recovered")
+            (obj_int first_run "monitor" field)
+            (obj_int j "monitor" field))
+        [ "observed"; "skipped"; "dropped"; "refit_dies"; "reselects" ];
+      Alcotest.(check string) "drift state recovered"
+        (obj_string first_run "monitor" "state")
+        (obj_string j "monitor" "state");
+      (* the wire prints %.17g, so bit-level equality is observable
+         end to end *)
+      List.iter
+        (fun field ->
+          Alcotest.(check int64)
+            ("monitor." ^ field ^ " bit-exact")
+            (Int64.bits_of_float (obj_float first_run "monitor" field))
+            (Int64.bits_of_float (obj_float j "monitor" field)))
+        [ "cusum"; "var_ratio" ];
+      (* and the revived journal keeps accepting acked work *)
+      match Serve.Client.observe c ~measured:clean ~truth:shifted with
+      | Ok ack ->
+        Alcotest.(check bool) "post-restart observe journaled" true
+          (Serve.Wire.member "journaled" ack = Some (Serve.Wire.Bool true));
+        Alcotest.(check bool) "dies accepted after recovery" true
+          (List.for_all (fun s -> s = "used") (Serve.Client.die_statuses ack))
+      | Error m -> Alcotest.failf "post-restart observe failed: %s" m)
+
 let suites =
   [
     ( "serve",
@@ -771,5 +925,7 @@ let suites =
           test_reselect_failure_degrades_gracefully;
         Alcotest.test_case "client observe and generation tracking" `Quick
           test_client_observe_and_generation;
+        Alcotest.test_case "restart recovers generation and monitor state"
+          `Quick test_restart_recovers_state;
       ] );
   ]

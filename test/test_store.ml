@@ -177,6 +177,31 @@ let test_kill_mid_write () =
     (Sys.readdir dir);
   Sys.remove path
 
+(* a truncated artifact *file* — e.g. a copy cut short by a full disk
+   or an interrupted transfer — must surface as the same typed
+   Corrupt_artifact the in-memory decoder reports, not as a parse
+   crash or a silent partial load *)
+let test_load_truncated_file () =
+  let t = Lazy.force fixture in
+  let path = Filename.temp_file "pathsel-store-trunc" ".psa" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Store.save path t with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save: %s" (Core.Errors.to_string e));
+  let full = (Unix.stat path).Unix.st_size in
+  List.iter
+    (fun keep ->
+      Unix.truncate path keep;
+      match Store.load path with
+      | Ok _ -> Alcotest.failf "truncated to %d bytes: accepted" keep
+      | Error (Core.Errors.Corrupt_artifact _ as e) ->
+        Alcotest.(check int) "sysexits data code" 65 (Core.Errors.exit_code e)
+      | Error e ->
+        Alcotest.failf "truncated to %d bytes: expected Corrupt_artifact, got %s"
+          keep (Core.Errors.to_string e))
+    [ full - 1; full / 2; Store.header_size; 3; 0 ]
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -220,6 +245,8 @@ let suites =
         Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
         Alcotest.test_case "kill mid-write leaves old or new, never torn"
           `Quick test_kill_mid_write;
+        Alcotest.test_case "truncated artifact file is a typed error" `Quick
+          test_load_truncated_file;
         QCheck_alcotest.to_alcotest prop_roundtrip;
         QCheck_alcotest.to_alcotest prop_any_byte_flip_rejected;
       ] );

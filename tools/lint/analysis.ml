@@ -57,6 +57,11 @@ type config = {
   fd_closers : string list;
   fd_transfers : string list;
   thread_spawns : string list;
+  boot_fns : string list;
+      (** single-threaded-phase functions (boot-time recovery, or the
+          epilogue after threads are joined): cut from thread-side
+          reachability traversal; being listed as an entry still seeds
+          them *)
   summary_cache : string option;
 }
 
@@ -74,7 +79,11 @@ let default_config =
       ];
     serving_entries = [ "Serve.run"; "Serve.worker"; "Serve.serve_conn"; "Serve.handle" ];
     handler_entries = [ "Serve.serve_conn"; "Serve.handle" ];
-    io_wrapper_modules = [ "Serve.Io" ];
+    (* Serve.Io: deadline-carrying socket wrappers. Store.Wal: the
+       journal's fsync'd append/rotate path — local-disk writes behind
+       its own mutex, deliberately synchronous in the observe handler
+       (journal-before-ack is the durability point). *)
+    io_wrapper_modules = [ "Serve.Io"; "Store.Wal" ];
     blocking_calls =
       [
         "Mutex.lock";
@@ -104,6 +113,23 @@ let default_config =
     fd_transfers =
       [ "Thread.create"; "Queue.add"; "Queue.push"; "Hashtbl.add"; "Hashtbl.replace" ];
     thread_spawns = [ "Thread.create"; "Domain.spawn" ];
+    (* Recovery (restore/replay/swapped under Serve.create) runs
+       strictly before the listener, workers or monitor thread exist;
+       the final forced checkpoint (Serve.maybe_checkpoint in Serve.run's
+       epilogue) runs after the monitor thread is joined. Writes into
+       monitor/refit state from these single-threaded phases cannot race
+       anything; listing them keeps the race rule from seeing a
+       serving-side path into the monitor internals. Entry seeding is
+       unaffected: a cut function listed as a monitor entry is still
+       analyzed as monitor code. *)
+    boot_fns =
+      [
+        "Serve.Monitor.replay";
+        "Serve.Monitor.restore";
+        "Serve.Monitor.swapped";
+        "Serve.Monitor.applied_seq";
+        "Serve.maybe_checkpoint";
+      ];
     summary_cache = Some "_build/.pathsel-analyze.cache";
   }
 
@@ -710,7 +736,7 @@ let build_index summaries =
   idx
 
 (* BFS with parent links so diagnostics can print the call chain. *)
-let reachable idx entries =
+let reachable ?(cut = []) idx entries =
   let parent : (string, string option) Hashtbl.t = Hashtbl.create 64 in
   let q = Queue.create () in
   List.iter
@@ -725,7 +751,11 @@ let reachable idx entries =
     let s = Hashtbl.find idx f in
     List.iter
       (fun (c, _) ->
-        if Hashtbl.mem idx c && not (Hashtbl.mem parent c) then begin
+        if
+          Hashtbl.mem idx c
+          && (not (Hashtbl.mem parent c))
+          && not (List.mem c cut)
+        then begin
           Hashtbl.replace parent c (Some f);
           Queue.add c q
         end)
@@ -772,8 +802,8 @@ let owner_file ~summaries key =
 let access_str = function Read -> "read" | Write -> "written"
 
 let race_rule cfg summaries idx =
-  let mon = reachable idx cfg.monitor_entries in
-  let srv = reachable idx cfg.serving_entries in
+  let mon = reachable ~cut:cfg.boot_fns idx cfg.monitor_entries in
+  let srv = reachable ~cut:cfg.boot_fns idx cfg.serving_entries in
   (* key -> (side, fn, access, site) uses *)
   let uses = Hashtbl.create 64 in
   Hashtbl.iter
@@ -820,7 +850,7 @@ let race_rule cfg summaries idx =
     uses []
 
 let monitor_blocking_rule cfg idx =
-  let mon = reachable idx cfg.monitor_entries in
+  let mon = reachable ~cut:cfg.boot_fns idx cfg.monitor_entries in
   Hashtbl.fold
     (fun fn (s : fn_summary) acc ->
       if Hashtbl.mem mon fn then
@@ -837,7 +867,7 @@ let monitor_blocking_rule cfg idx =
     idx []
 
 let handler_blocking_rule cfg idx =
-  let h = reachable idx cfg.handler_entries in
+  let h = reachable ~cut:cfg.boot_fns idx cfg.handler_entries in
   let in_wrapper fn =
     List.exists
       (fun m ->

@@ -31,6 +31,15 @@ type config = {
   thread_spawns : string list;
       (** thread boundaries: closures passed here are severed from the
           spawning function's summary *)
+  boot_fns : string list;
+      (** functions that run only in single-threaded phases — boot-time
+          recovery before any worker or monitor thread is spawned (the
+          restore/replay path under [Serve.create]) or the epilogue
+          after they are joined (the final forced checkpoint):
+          reachability traversals stop at them, so their writes into
+          otherwise thread-owned state do not register as cross-thread
+          races. A cut function that is itself listed as an entry is
+          still seeded and analyzed on that side. *)
   summary_cache : string option;
       (** where per-module summaries are memoized (keyed by cmt
           digest); [None] disables caching *)

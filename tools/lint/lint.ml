@@ -40,6 +40,8 @@ type config = {
       (* the monitor/reselect thread: must stay lock-free and non-blocking *)
   dense_pool_banned_files : string list;
       (* the streaming pool front-end: must never densify the pool *)
+  wal_write_files : string list;
+      (* the WAL implementation: the only home for raw writes to WAL fds *)
 }
 
 let default_config =
@@ -52,6 +54,7 @@ let default_config =
     io_wrapper_files = [ "lib/serve/io.ml" ];
     monitor_files = [ "lib/serve/monitor.ml" ];
     dense_pool_banned_files = [ "lib/timing/pool_stream.ml" ];
+    wal_write_files = [ "lib/store/wal.ml" ];
   }
 
 let rules =
@@ -89,6 +92,10 @@ let rules =
       "Sparse.to_dense / Mat.of_arrays / Mat.to_arrays / Mat.of_rows in the \
        streaming pool front-end (pools must stay CSR; consume them through \
        the mat-mul operator)" );
+    ( "no-unfsynced-wal",
+      Error,
+      "raw Unix.write to a WAL fd/path outside Store.Wal (the append API is \
+       the durability point: length-prefixed CRC frames + fsync before ack)" );
   ]
 
 let severity_of_rule r =
@@ -272,6 +279,27 @@ let floaty (e : expression) =
 let is_fun (e : expression) =
   match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
 
+let contains_ci s sub =
+  let s = String.lowercase_ascii s in
+  let ls = String.length s and n = String.length sub in
+  let rec scan i = i + n <= ls && (String.sub s i n = sub || scan (i + 1)) in
+  scan 0
+
+(* syntactic "this expression smells like the WAL": a wal-named
+   identifier/field or a string literal mentioning wal. Type-free, like
+   [floaty] — the rule wants the fd or path argument of a raw write. *)
+let rec mentions_wal (e : expression) =
+  let walish l = List.exists (fun c -> contains_ci c "wal") l in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> contains_ci s "wal"
+  | Pexp_ident { txt; _ } -> walish (Longident.flatten txt)
+  | Pexp_field (e', { txt; _ }) ->
+    mentions_wal e' || walish (Longident.flatten txt)
+  | Pexp_apply (f, args) ->
+    mentions_wal f || List.exists (fun (_, a) -> mentions_wal a) args
+  | Pexp_constraint (e', _) -> mentions_wal e'
+  | _ -> false
+
 (* ------------------------------------------------------------------ *)
 (* The pass *)
 
@@ -426,6 +454,17 @@ let check_expr ctx (e : expression) =
              "(%s) on float operands; use Float.equal (exact, NaN-sound) or a \
               tolerance helper (Stats.Descriptive.approx_equal)"
              op)
+      | Some
+          [ "Unix";
+            (("write" | "single_write" | "write_substring") as fn) ]
+        when (not (is_any ctx.path ctx.cfg.wal_write_files))
+             && List.exists (fun (_, a) -> mentions_wal a) args ->
+        emit ctx "no-unfsynced-wal" e.pexp_loc
+          (Printf.sprintf
+             "Unix.%s to a WAL fd/path outside Store.Wal: bytes that bypass \
+              the append API carry no frame CRC and no fsync, so an ack built \
+              on them is not durable — append through Store.Wal.append"
+             fn)
       | Some p -> (
         match List.rev p with
         | ("parallel_for" | "parallel_chunks") :: "Pool" :: _ ->

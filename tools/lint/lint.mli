@@ -1,6 +1,6 @@
 (** Project-specific static analysis over OCaml sources (untyped AST).
 
-    Ten rules guard the invariants the parallel numeric core and the
+    Eleven rules guard the invariants the parallel numeric core and the
     serving layer depend on; see {!rules} for the list and
     {!default_config} for the allowlists. A comment
     [(* lint: allow rule-a rule-b *)] anywhere in a file suppresses
@@ -38,6 +38,11 @@ type config = {
           [Mat.of_arrays]/[Mat.to_arrays]/[Mat.of_rows]
           ([no-dense-pool]) — million-path pools must stay CSR and be
           consumed through the mat-mul operator *)
+  wal_write_files : string list;
+      (** the WAL implementation, the only home for raw [Unix.write]s
+          to wal-named fds/paths ([no-unfsynced-wal]) — everything else
+          must go through [Store.Wal.append], whose frame CRC + fsync
+          is the journal-before-ack durability point *)
 }
 
 val default_config : config
